@@ -1,0 +1,382 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus ablations of the design choices DESIGN.md calls
+// out. Each benchmark regenerates its experiment at reduced measurement
+// effort and reports the headline quantity via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reprints the whole evaluation. The cmd/ binaries produce the full-effort
+// versions.
+package knlcap_test
+
+import (
+	"testing"
+
+	"knlcap/internal/bench"
+	"knlcap/internal/cache"
+	"knlcap/internal/coll"
+	"knlcap/internal/core"
+	"knlcap/internal/knl"
+	"knlcap/internal/msort"
+	"knlcap/internal/tune"
+)
+
+func opts() bench.Options {
+	o := bench.DefaultOptions().Quick()
+	o.WindowNs = 1e6
+	return o
+}
+
+// BenchmarkFigure1TunedTree derives the model-tuned reduce tree for 64
+// cores (32 tiles) — Figure 1 — and reports its predicted cost.
+func BenchmarkFigure1TunedTree(b *testing.B) {
+	model := core.Default()
+	var cost float64
+	for i := 0; i < b.N; i++ {
+		cost = tune.Reduce(model, 32).CostNs
+	}
+	b.ReportMetric(cost, "model-ns")
+}
+
+// BenchmarkTableILatency regenerates the Table I latency rows (SNC4).
+func BenchmarkTableILatency(b *testing.B) {
+	var r bench.CacheLatencies
+	for i := 0; i < b.N; i++ {
+		r = bench.MeasureCacheLatencies(knl.DefaultConfig(), opts(), 4)
+	}
+	b.ReportMetric(r.LocalL1, "L1-ns")
+	b.ReportMetric(r.TileM, "tileM-ns")
+	b.ReportMetric((r.RemoteM.Lo+r.RemoteM.Hi)/2, "remoteM-ns")
+}
+
+// BenchmarkTableIBandwidth regenerates the Table I bandwidth rows (SNC4).
+func BenchmarkTableIBandwidth(b *testing.B) {
+	o := opts()
+	o.Iterations = 6
+	var r bench.CacheBandwidths
+	for i := 0; i < b.N; i++ {
+		r = bench.MeasureCacheBandwidths(knl.DefaultConfig(), o, []int{1024})
+	}
+	b.ReportMetric(r.Read, "read-GBs")
+	b.ReportMetric(r.CopyRemote, "copyRemote-GBs")
+	b.ReportMetric(r.CopyTileE, "copyTileE-GBs")
+}
+
+// BenchmarkTableIContention regenerates the Table I contention row.
+func BenchmarkTableIContention(b *testing.B) {
+	o := opts()
+	o.Iterations = 8
+	var r bench.ContentionResult
+	for i := 0; i < b.N; i++ {
+		r = bench.MeasureContention(knl.DefaultConfig(), o, []int{1, 4, 8, 16, 32})
+	}
+	b.ReportMetric(r.Alpha, "alpha-ns")
+	b.ReportMetric(r.Beta, "beta-ns")
+}
+
+// BenchmarkTableICongestion regenerates the Table I congestion row
+// (the paper reports "None": ratio ~1).
+func BenchmarkTableICongestion(b *testing.B) {
+	var r bench.CongestionResult
+	for i := 0; i < b.N; i++ {
+		r = bench.MeasureCongestion(knl.DefaultConfig(), opts(), 8)
+	}
+	b.ReportMetric(r.Ratio, "ratio")
+}
+
+// BenchmarkTableIIFlat regenerates the flat-mode Table II bandwidth block
+// for the Quadrant column.
+func BenchmarkTableIIFlat(b *testing.B) {
+	o := opts()
+	cfg := knl.DefaultConfig().WithModes(knl.Quadrant, knl.Flat)
+	var dRead, mRead, dWrite float64
+	for i := 0; i < b.N; i++ {
+		dRead = bench.MeasureMemBandwidth(cfg, o, bench.KernelRead, knl.DDR, true, 32, knl.FillTiles).GBs
+		mRead = bench.MeasureMemBandwidth(cfg, o, bench.KernelRead, knl.MCDRAM, true, 128, knl.FillTiles).GBs
+		dWrite = bench.MeasureMemBandwidth(cfg, o, bench.KernelWrite, knl.DDR, true, 32, knl.FillTiles).GBs
+	}
+	b.ReportMetric(dRead, "DDR-read-GBs")
+	b.ReportMetric(mRead, "MCDRAM-read-GBs")
+	b.ReportMetric(dWrite, "DDR-write-GBs")
+}
+
+// BenchmarkTableIICacheMode regenerates the cache-mode Table II latency.
+func BenchmarkTableIICacheMode(b *testing.B) {
+	cfg := knl.DefaultConfig().WithModes(knl.Quadrant, knl.CacheMode)
+	var lat bench.MemLatencies
+	for i := 0; i < b.N; i++ {
+		lat = bench.MeasureMemLatencies(cfg, opts())
+	}
+	b.ReportMetric((lat.Cache.Lo+lat.Cache.Hi)/2, "latency-ns")
+}
+
+// BenchmarkFigure4 regenerates the per-core latency sweep (reduced: E
+// state only).
+func BenchmarkFigure4(b *testing.B) {
+	o := opts()
+	o.Averages, o.Passes = 3, 1
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.MeasurePerCoreLatencies(knl.DefaultConfig(), o,
+			[]cache.State{cache.Exclusive})
+		lo, hi := pts[0].Latency, pts[0].Latency
+		for _, p := range pts {
+			if p.Latency < lo {
+				lo = p.Latency
+			}
+			if p.Latency > hi {
+				hi = p.Latency
+			}
+		}
+		spread = hi - lo
+	}
+	b.ReportMetric(spread, "spread-ns")
+}
+
+// BenchmarkFigure5 regenerates the copy-bandwidth-by-size sweep
+// (SNC4-cache, three sizes).
+func BenchmarkFigure5(b *testing.B) {
+	o := opts()
+	o.Iterations = 4
+	cfg := knl.DefaultConfig().WithModes(knl.SNC4, knl.CacheMode)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.MeasureCopyBySize(cfg, o, []int{64, 4096, 65536})
+		last = pts[len(pts)-1].GBs
+	}
+	b.ReportMetric(last, "remoteE64K-GBs")
+}
+
+func benchCollective(b *testing.B, op coll.Op) {
+	cfg := knl.DefaultConfig()
+	model := core.Default()
+	o := opts()
+	o.Iterations = 8
+	var tuned, omp, mpi float64
+	for i := 0; i < b.N; i++ {
+		p := coll.DefaultParams(64, knl.Scatter)
+		tuned = coll.Measure(cfg, model, o, op, coll.Tuned, p).Summary.Med
+		omp = coll.Measure(cfg, model, o, op, coll.OMP, p).Summary.Med
+		mpi = coll.Measure(cfg, model, o, op, coll.MPI, p).Summary.Med
+	}
+	b.ReportMetric(tuned, "tuned-ns")
+	b.ReportMetric(omp/tuned, "speedup-vs-omp")
+	b.ReportMetric(mpi/tuned, "speedup-vs-mpi")
+}
+
+// BenchmarkFigure6Barrier regenerates the 64-thread barrier comparison.
+func BenchmarkFigure6Barrier(b *testing.B) { benchCollective(b, coll.Barrier) }
+
+// BenchmarkFigure7Broadcast regenerates the 64-thread broadcast comparison.
+func BenchmarkFigure7Broadcast(b *testing.B) { benchCollective(b, coll.Bcast) }
+
+// BenchmarkFigure8Reduce regenerates the 64-thread reduce comparison.
+func BenchmarkFigure8Reduce(b *testing.B) { benchCollective(b, coll.Reduce) }
+
+// BenchmarkFigure9Triad regenerates the triad saturation sweep.
+func BenchmarkFigure9Triad(b *testing.B) {
+	o := opts()
+	o.Iterations = 5
+	var mc, dd float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.TriadSweep(knl.DefaultConfig(), o, knl.FillTiles, []int{16, 64})
+		mc, dd = pts[1].GBs, pts[3].GBs
+	}
+	b.ReportMetric(mc, "MCDRAM64t-GBs")
+	b.ReportMetric(dd, "DRAM64t-GBs")
+}
+
+// BenchmarkFigure10Sort regenerates one Figure 10 panel (256 KB, DRAM).
+func BenchmarkFigure10Sort(b *testing.B) {
+	cfg := knl.DefaultConfig()
+	model := core.Default()
+	oh := core.OverheadModel{Alpha: 2500, Beta: 10}
+	var measured, memBW float64
+	for i := 0; i < b.N; i++ {
+		pts := msort.Figure10(cfg, model, oh, 4096, knl.DDR, []int{16})
+		measured, memBW = pts[0].MeasuredNs, pts[0].MemBWNs
+	}
+	b.ReportMetric(measured, "measured-ns")
+	b.ReportMetric(measured/memBW, "vs-mem-model")
+}
+
+// BenchmarkHeadlineMCDRAMSortClaim quantifies the paper's headline: MCDRAM
+// does not improve the merge sort, while it improves triad ~5x.
+func BenchmarkHeadlineMCDRAMSortClaim(b *testing.B) {
+	cfg := knl.DefaultConfig()
+	var sortGain, triadGain float64
+	o := opts()
+	o.Iterations = 5
+	for i := 0; i < b.N; i++ {
+		d := msort.Simulate(cfg, msort.DefaultSimParams(16384, 32, knl.DDR))
+		mc := msort.Simulate(cfg, msort.DefaultSimParams(16384, 32, knl.MCDRAM))
+		sortGain = d / mc
+		td := bench.MeasureMemBandwidth(cfg, o, bench.KernelTriad, knl.DDR, true, 128, knl.FillTiles).GBs
+		tm := bench.MeasureMemBandwidth(cfg, o, bench.KernelTriad, knl.MCDRAM, true, 128, knl.FillTiles).GBs
+		triadGain = tm / td
+	}
+	b.ReportMetric(sortGain, "sort-MCDRAM-gain")
+	b.ReportMetric(triadGain, "triad-MCDRAM-gain")
+}
+
+// --- Ablations (DESIGN.md Section 5) ---------------------------------------
+
+// BenchmarkAblationTreeShapes compares the tuned tree against standard
+// shapes under the model.
+func BenchmarkAblationTreeShapes(b *testing.B) {
+	model := core.Default()
+	var tuned, binomial, flat float64
+	for i := 0; i < b.N; i++ {
+		tuned = tune.Broadcast(model, 32).CostNs
+		binomial = model.BroadcastCost(core.BinomialTree(32))
+		flat = model.BroadcastCost(core.FlatTree(32))
+	}
+	b.ReportMetric(binomial/tuned, "binomial-vs-tuned")
+	b.ReportMetric(flat/tuned, "flat-vs-tuned")
+}
+
+// BenchmarkAblationBarrierFanout compares the tuned m against m=1
+// dissemination and a centralized barrier on the simulator.
+func BenchmarkAblationBarrierFanout(b *testing.B) {
+	model := core.Default()
+	var tuned, m1 float64
+	for i := 0; i < b.N; i++ {
+		tuned = model.BarrierCost(64, tune.Barrier(model, 64).M)
+		m1 = model.BarrierCost(64, 1)
+	}
+	b.ReportMetric(m1/tuned, "m1-vs-tuned")
+}
+
+// BenchmarkAblationNTStores measures the NT-vs-cached write gap at low
+// thread count (the reason the paper uses NT hints).
+func BenchmarkAblationNTStores(b *testing.B) {
+	o := opts()
+	o.Iterations = 6
+	cfg := knl.DefaultConfig().WithModes(knl.Quadrant, knl.Flat)
+	var nt, cached float64
+	for i := 0; i < b.N; i++ {
+		nt = bench.MeasureMemBandwidth(cfg, o, bench.KernelWrite, knl.DDR, true, 2, knl.FillTiles).GBs
+		cached = bench.MeasureMemBandwidth(cfg, o, bench.KernelWrite, knl.DDR, false, 2, knl.FillTiles).GBs
+	}
+	b.ReportMetric(nt/cached, "NT-gain")
+}
+
+// BenchmarkAblationClusterModes measures the MCDRAM copy spread across
+// cluster modes (Table II's SNC4-vs-A2A delta).
+func BenchmarkAblationClusterModes(b *testing.B) {
+	o := opts()
+	o.Iterations = 5
+	var snc4, a2a float64
+	for i := 0; i < b.N; i++ {
+		snc4 = bench.MeasureMemBandwidth(knl.DefaultConfig().WithModes(knl.SNC4, knl.Flat),
+			o, bench.KernelCopy, knl.MCDRAM, true, 64, knl.FillTiles).GBs
+		a2a = bench.MeasureMemBandwidth(knl.DefaultConfig().WithModes(knl.A2A, knl.Flat),
+			o, bench.KernelCopy, knl.MCDRAM, true, 64, knl.FillTiles).GBs
+	}
+	b.ReportMetric(snc4/a2a, "SNC4-vs-A2A")
+}
+
+// BenchmarkAblationIntraTileIsolation compares scatter (one thread per
+// tile) with fill-tiles (two per tile, flat intra-tile stage) for the
+// tuned reduce.
+func BenchmarkAblationIntraTileIsolation(b *testing.B) {
+	cfg := knl.DefaultConfig()
+	model := core.Default()
+	o := opts()
+	o.Iterations = 6
+	var scatter, fill float64
+	for i := 0; i < b.N; i++ {
+		scatter = coll.Measure(cfg, model, o, coll.Reduce, coll.Tuned,
+			coll.DefaultParams(32, knl.Scatter)).Summary.Med
+		fill = coll.Measure(cfg, model, o, coll.Reduce, coll.Tuned,
+			coll.DefaultParams(64, knl.FillTiles)).Summary.Med
+	}
+	b.ReportMetric(scatter, "scatter32-ns")
+	b.ReportMetric(fill, "fill64-ns")
+}
+
+// BenchmarkExtensionAllreduce measures the fused tuned allreduce vs the
+// baselines (a beyond-the-paper extension; see DESIGN.md Section 6).
+func BenchmarkExtensionAllreduce(b *testing.B) {
+	cfg := knl.DefaultConfig()
+	model := core.Default()
+	o := opts()
+	o.Iterations = 6
+	var tuned, mpi float64
+	for i := 0; i < b.N; i++ {
+		p := coll.DefaultParams(32, knl.Scatter)
+		tuned = coll.Measure(cfg, model, o, coll.Allreduce, coll.Tuned, p).Summary.Med
+		mpi = coll.Measure(cfg, model, o, coll.Allreduce, coll.MPI, p).Summary.Med
+	}
+	b.ReportMetric(tuned, "tuned-ns")
+	b.ReportMetric(mpi/tuned, "speedup-vs-mpi")
+}
+
+// BenchmarkExtensionAllgather measures the m-way dissemination allgather.
+func BenchmarkExtensionAllgather(b *testing.B) {
+	cfg := knl.DefaultConfig()
+	model := core.Default()
+	o := opts()
+	o.Iterations = 6
+	var tuned, mpi float64
+	for i := 0; i < b.N; i++ {
+		p := coll.DefaultParams(32, knl.Scatter)
+		tuned = coll.Measure(cfg, model, o, coll.Allgather, coll.Tuned, p).Summary.Med
+		mpi = coll.Measure(cfg, model, o, coll.Allgather, coll.MPI, p).Summary.Med
+	}
+	b.ReportMetric(tuned, "tuned-ns")
+	b.ReportMetric(mpi/tuned, "speedup-vs-mpi")
+}
+
+// BenchmarkAblationNUMAAllocation quantifies NUMA-unaware allocation in
+// SNC4 (the paper: "memory pinning, or NUMA-aware allocation" are
+// variables whose impact must be measured).
+func BenchmarkAblationNUMAAllocation(b *testing.B) {
+	o := opts()
+	o.Iterations = 6
+	var local, node0 float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.MeasureNUMAAblation(knl.DefaultConfig(), o, 32)
+		for _, p := range pts {
+			switch p.Policy {
+			case bench.NUMALocal:
+				local = p.GBs
+			case bench.NUMANode0:
+				node0 = p.GBs
+			}
+		}
+	}
+	b.ReportMetric(local, "local-GBs")
+	b.ReportMetric(local/node0, "local-vs-node0")
+}
+
+// BenchmarkRooflineVsCapability reports the two models' MCDRAM-gain
+// predictions for the merge sort (the related-work critique).
+func BenchmarkRooflineVsCapability(b *testing.B) {
+	model := core.Default()
+	var capGain float64
+	for i := 0; i < b.N; i++ {
+		lines := (16 << 20) / knl.LineSize
+		capGain = model.SortCost(core.DefaultSortParams(model, lines, 64, knl.DDR), true) /
+			model.SortCost(core.DefaultSortParams(model, lines, 64, knl.MCDRAM), true)
+	}
+	b.ReportMetric(5.46, "roofline-predicted-gain")
+	b.ReportMetric(capGain, "capability-predicted-gain")
+}
+
+// BenchmarkExtensionScan measures the prefix-sum collective: log-depth
+// tuned vs the linear-chain baseline.
+func BenchmarkExtensionScan(b *testing.B) {
+	cfg := knl.DefaultConfig()
+	model := core.Default()
+	o := opts()
+	o.Iterations = 6
+	var tuned, omp float64
+	for i := 0; i < b.N; i++ {
+		p := coll.DefaultParams(64, knl.Scatter)
+		tuned = coll.Measure(cfg, model, o, coll.Scan, coll.Tuned, p).Summary.Med
+		omp = coll.Measure(cfg, model, o, coll.Scan, coll.OMP, p).Summary.Med
+	}
+	b.ReportMetric(tuned, "tuned-ns")
+	b.ReportMetric(omp/tuned, "speedup-vs-chain")
+}

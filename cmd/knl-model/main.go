@@ -1,0 +1,143 @@
+// Command knl-model manages capability-model files: fit a model from the
+// benchmark suite and save it as JSON, inspect a saved model, and compare
+// two models (e.g. a fresh fit against the paper's published numbers).
+//
+// Usage:
+//
+//	knl-model fit -o model.json [-cluster SNC4] [-quick]
+//	knl-model show model.json
+//	knl-model compare a.json b.json     # or "paper" for the built-in model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"knlcap/internal/bench"
+	"knlcap/internal/core"
+	"knlcap/internal/knl"
+	"knlcap/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "fit":
+		fitCmd(os.Args[2:])
+	case "show":
+		showCmd(os.Args[2:])
+	case "compare":
+		compareCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  knl-model fit -o model.json [-cluster SNC4|SNC2|QUAD|HEM|A2A] [-quick]
+  knl-model show <model.json|paper>
+  knl-model compare <a.json|paper> <b.json|paper>`)
+	os.Exit(2)
+}
+
+func clusterByName(name string) knl.ClusterMode {
+	cm, err := knl.ParseClusterMode(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "knl-model:", err)
+		os.Exit(2)
+	}
+	return cm
+}
+
+func loadModel(arg string) *core.Model {
+	if arg == "paper" {
+		return core.Default()
+	}
+	m, err := core.LoadFile(arg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "knl-model: %v\n", err)
+		os.Exit(1)
+	}
+	return m
+}
+
+func fitCmd(args []string) {
+	fs := flag.NewFlagSet("fit", flag.ExitOnError)
+	out := fs.String("o", "model.json", "output file")
+	cluster := fs.String("cluster", "SNC4", "cluster mode to fit")
+	quick := fs.Bool("quick", false, "reduced measurement effort")
+	fs.Parse(args)
+
+	cfg := knl.DefaultConfig().WithModes(clusterByName(*cluster), knl.Flat)
+	o := bench.DefaultOptions()
+	if *quick {
+		o = o.Quick()
+	}
+	fmt.Fprintf(os.Stderr, "benchmarking %s (Table I)...\n", cfg.Name())
+	t1 := bench.MeasureTableI(cfg, o)
+	fmt.Fprintln(os.Stderr, "benchmarking memory (Table II subset)...")
+	t2 := bench.MeasureTableII(cfg, o, []int{16, 64}, []knl.Schedule{knl.FillTiles})
+	fmt.Fprintln(os.Stderr, "sweeping achievable bandwidth (Figure 9 points)...")
+	sweep := bench.TriadSweep(cfg, o, knl.FillTiles, []int{1, 8, 16, 64, 128})
+	m := core.FromMeasurements(t1, t2, sweep)
+	if err := m.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "knl-model: fit produced invalid model: %v\n", err)
+		os.Exit(1)
+	}
+	if err := m.SaveFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "knl-model: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fitted model for %s written to %s\n", cfg.Name(), *out)
+	fmt.Printf("max deviation from the paper's published model: %.1f%%\n",
+		100*core.MaxRelDelta(m, core.Default()))
+}
+
+func showCmd(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	m := loadModel(args[0])
+	t := &report.Table{
+		Title:   fmt.Sprintf("Capability model (%s)", m.Config.Name()),
+		Headers: []string{"Parameter", "Value"},
+	}
+	t.AddRow("RL (local cache read) [ns]", m.RL)
+	t.AddRow("R tile M/E/SF [ns]", fmt.Sprintf("%s / %s / %s",
+		report.FormatFloat(m.RTileM), report.FormatFloat(m.RTileE), report.FormatFloat(m.RTileSF)))
+	t.AddRow("RR (remote cache read) [ns]", fmt.Sprintf("%s (band %s-%s)",
+		report.FormatFloat(m.RR), report.FormatFloat(m.RRMin), report.FormatFloat(m.RRMax)))
+	t.AddRow("RI (memory read) [ns]", m.RI)
+	t.AddRow("RI MCDRAM [ns]", m.RIMCDRAM)
+	t.AddRow("Contention T_C(N) [ns]", fmt.Sprintf("%s + %s*N",
+		report.FormatFloat(m.CAlpha), report.FormatFloat(m.CBeta)))
+	t.AddRow("BW remote copy [GB/s]", m.BWRemoteCopy)
+	t.AddRow("BW tile copy E/M [GB/s]", fmt.Sprintf("%s / %s",
+		report.FormatFloat(m.BWTileCopyE), report.FormatFloat(m.BWTileCopyM)))
+	t.AddRow("BW remote read [GB/s]", m.BWRemoteRead)
+	for _, kind := range []knl.MemKind{knl.DDR, knl.MCDRAM} {
+		for _, p := range m.BWCurve[kind] {
+			t.AddRow(fmt.Sprintf("BW %v @%d threads [GB/s]", kind, p.Threads), p.GBs)
+		}
+	}
+	t.Write(os.Stdout)
+}
+
+func compareCmd(args []string) {
+	if len(args) != 2 {
+		usage()
+	}
+	a, b := loadModel(args[0]), loadModel(args[1])
+	t := &report.Table{
+		Title:   fmt.Sprintf("Model comparison: %s vs %s", args[0], args[1]),
+		Headers: []string{"Parameter", args[0], args[1], "rel delta"},
+	}
+	for _, d := range core.Compare(a, b) {
+		t.AddRow(d.Name, d.A, d.B, fmt.Sprintf("%.1f%%", 100*d.RelDelta))
+	}
+	t.Write(os.Stdout)
+}

@@ -1,0 +1,121 @@
+// Command knl-sort regenerates Figure 10: the parallel bitonic merge sort
+// versus the capability model's predictions (memory model in latency and
+// bandwidth variants, full model with the fitted overhead), across thread
+// counts for three input sizes, on DRAM and MCDRAM.
+//
+// Sizes are scaled from the paper's 1 KB / 4 MB / 1 GB to keep the
+// simulation interactive (see EXPERIMENTS.md); pass -lines to override.
+//
+// Usage:
+//
+//	knl-sort                    # all three panels, DRAM and MCDRAM
+//	knl-sort -kind mcdram -lines 65536
+//	knl-sort -verify            # also run and check the real Go sort
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"knlcap/internal/core"
+	"knlcap/internal/knl"
+	"knlcap/internal/msort"
+	"knlcap/internal/report"
+	"knlcap/internal/stats"
+)
+
+func main() {
+	kindFlag := flag.String("kind", "both", "buffer placement: dram | mcdram | both")
+	lines := flag.Int("lines", 0, "input size in cache lines (0 = the three standard panels)")
+	verify := flag.Bool("verify", false, "run the real Go parallel sort and verify correctness")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	if *verify {
+		verifyRealSort()
+	}
+
+	cfg := knl.DefaultConfig() // SNC4-flat
+	model := core.Default()
+	fmt.Fprintln(os.Stderr, "fitting overhead model from 1 KB sorts...")
+	oh := msort.FitOverhead(cfg, model, knl.DDR, nil)
+	fmt.Printf("overhead model: %.0f + %.0f*threads [ns]\n\n", oh.Alpha, oh.Beta)
+
+	kinds := []knl.MemKind{knl.DDR, knl.MCDRAM}
+	switch *kindFlag {
+	case "dram":
+		kinds = kinds[:1]
+	case "mcdram":
+		kinds = kinds[1:]
+	}
+	panels := []struct {
+		label string
+		lines int
+	}{
+		{"1 KB", 16},
+		{"256 KB (paper: 4 MB)", 4096},
+		{"16 MB (paper: 1 GB)", 262144},
+	}
+	if *lines > 0 {
+		panels = panels[:1]
+		panels[0] = struct {
+			label string
+			lines int
+		}{fmt.Sprintf("%d lines", *lines), *lines}
+	}
+	threadCounts := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+	for _, kind := range kinds {
+		for _, panel := range panels {
+			fmt.Fprintf(os.Stderr, "panel %s on %v...\n", panel.label, kind)
+			pts := msort.Figure10(cfg, model, oh, panel.lines, kind, threadCounts)
+			t := &report.Table{
+				Title: fmt.Sprintf("Figure 10: sorting %s of integers (%v, SNC4-flat, compact) [ns]",
+					panel.label, kind),
+				Headers: []string{"Threads", "Measured", "Mem lat", "Mem BW",
+					"Full lat", "Full BW", ">10% overhead"},
+			}
+			for _, p := range pts {
+				t.AddRow(p.Threads, p.MeasuredNs, p.MemLatNs, p.MemBWNs,
+					p.FullLatNs, p.FullBWNs, p.OverCutoff)
+			}
+			if *csv {
+				t.CSV(os.Stdout)
+			} else {
+				t.Write(os.Stdout)
+				fmt.Println()
+			}
+		}
+	}
+	if len(kinds) == 2 && *lines == 0 {
+		compareKinds(cfg, model, oh)
+	}
+}
+
+func compareKinds(cfg knl.Config, model *core.Model, oh core.OverheadModel) {
+	const lines = 262144
+	d := msort.Simulate(cfg, msort.DefaultSimParams(lines, 64, knl.DDR))
+	mc := msort.Simulate(cfg, msort.DefaultSimParams(lines, 64, knl.MCDRAM))
+	fmt.Printf("MCDRAM vs DRAM at 64 threads, 16 MB: %.2fx (paper: negligible difference)\n", d/mc)
+}
+
+func verifyRealSort() {
+	fmt.Fprintln(os.Stderr, "verifying the real parallel sort implementation...")
+	rng := stats.NewRNG(20260705)
+	v := make([]int32, 1<<20)
+	for i := range v {
+		v[i] = int32(rng.Uint64())
+	}
+	want := append([]int32(nil), v...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	used := msort.ParallelSort(v, 8)
+	for i := range v {
+		if v[i] != want[i] {
+			fmt.Fprintln(os.Stderr, "knl-sort: REAL SORT IS BROKEN")
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("real sort verified: 4 MB of int32 sorted correctly with %d threads\n", used)
+}

@@ -1,0 +1,155 @@
+// Command knl-trace runs a chosen micro-workload on the simulated KNL with
+// the operation tracer attached and prints per-source latency
+// distributions, the busiest hardware structures and (optionally) a CSV of
+// every operation — the observability companion of the capability model.
+//
+// Usage:
+//
+//	knl-trace -workload contention -threads 16
+//	knl-trace -workload pingpong
+//	knl-trace -workload mixed -csv trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"knlcap/internal/cache"
+	"knlcap/internal/knl"
+	"knlcap/internal/machine"
+	"knlcap/internal/report"
+	"knlcap/internal/stats"
+	"knlcap/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "mixed", "workload: mixed | contention | pingpong")
+	threads := flag.Int("threads", 16, "thread count (contention/mixed)")
+	csvPath := flag.String("csv", "", "write the raw operation trace to this CSV file")
+	clusterMode := flag.String("cluster", "SNC4", "cluster mode")
+	flag.Parse()
+
+	cm, err := knl.ParseClusterMode(*clusterMode)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := knl.DefaultConfig().WithModes(cm, knl.Flat)
+	m := machine.New(cfg)
+	col := trace.NewCollector(0)
+	m.SetTracer(col)
+
+	switch *workload {
+	case "contention":
+		contention(m, *threads)
+	case "pingpong":
+		pingpong(m)
+	case "mixed":
+		mixed(m, *threads)
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+	if _, err := m.Run(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload %q on %s: %d traced operations over %.1f us\n\n",
+		*workload, cfg.Name(), col.Len(), m.Env.Now()/1e3)
+	t := &report.Table{
+		Title:   "Latency distribution by data source [ns]",
+		Headers: []string{"Source", "Count", "p25", "median", "p75", "max"},
+	}
+	for _, g := range col.Summaries(trace.BySource) {
+		t.AddRow(g.Key, g.Count, g.Summary.Q1, g.Summary.Med, g.Summary.Q3, g.Summary.Max)
+	}
+	t.Write(os.Stdout)
+
+	fmt.Println("\nbusiest structures:")
+	for i, rs := range m.StatsReport() {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("  %-12s %6d acquires, max queue %2d, utilization %4.1f%%\n",
+			rs.Name, rs.Acquires, rs.MaxQueue, 100*rs.Utilization)
+	}
+	fmt.Printf("mesh ring peak utilization: %.2f%%\n", 100*m.MeshUtilization())
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := col.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("raw trace written to %s\n", *csvPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "knl-trace:", err)
+	os.Exit(1)
+}
+
+// contention reproduces the 1:N Table I benchmark under the tracer.
+func contention(m *machine.Machine, n int) {
+	shared := m.Alloc.MustAlloc(knl.DDR, 0, knl.LineSize)
+	m.Prime(shared, 0, cache.Modified)
+	for i := 0; i < n; i++ {
+		core := (2 + 2*i) % knl.NumCores
+		local := m.Alloc.MustAlloc(knl.DDR, 0, knl.LineSize)
+		m.Spawn(place(core), func(th *machine.Thread) {
+			for it := 0; it < 20; it++ {
+				th.Load(shared, 0)
+				th.Store(local, 0)
+			}
+		})
+	}
+}
+
+// pingpong bounces one flag line between two far tiles.
+func pingpong(m *machine.Machine) {
+	flagBuf := m.Alloc.MustAlloc(knl.DDR, 0, knl.LineSize)
+	m.Spawn(place(0), func(th *machine.Thread) {
+		for r := 1; r <= 40; r += 2 {
+			th.StoreWord(flagBuf, 0, uint64(r))
+			th.WaitWordGE(flagBuf, 0, uint64(r+1))
+		}
+	})
+	m.Spawn(place(knl.NumCores-2), func(th *machine.Thread) {
+		for r := 1; r <= 40; r += 2 {
+			th.WaitWordGE(flagBuf, 0, uint64(r))
+			th.StoreWord(flagBuf, 0, uint64(r+1))
+		}
+	})
+}
+
+// mixed combines local, remote, contended and memory accesses.
+func mixed(m *machine.Machine, n int) {
+	hot := m.Alloc.MustAlloc(knl.DDR, 0, knl.LineSize)
+	m.Prime(hot, 0, cache.Modified)
+	remote := m.Alloc.MustAlloc(knl.DDR, 0, 8*knl.LineSize)
+	m.Prime(remote, knl.NumCores/2, cache.Exclusive)
+	rng := stats.NewRNG(1)
+	for i := 0; i < n; i++ {
+		core := (2 + 2*i) % knl.NumCores
+		local := m.Alloc.MustAlloc(knl.DDR, 0, 4*knl.LineSize)
+		cold := m.Alloc.MustAlloc(knl.MCDRAM, 0, 16*knl.LineSize)
+		seed := rng.Uint64()
+		m.Spawn(place(core), func(th *machine.Thread) {
+			r := stats.NewRNG(seed)
+			for it := 0; it < 20; it++ {
+				th.Load(hot, 0)
+				th.Load(local, r.Intn(4))
+				th.Load(remote, r.Intn(8))
+				th.Load(cold, r.Intn(16))
+				th.Store(local, r.Intn(4))
+			}
+		})
+	}
+}
+
+func place(core int) knl.Place {
+	return knl.Place{Tile: core / knl.CoresPerTile, Core: core}
+}

@@ -1,0 +1,11 @@
+// Package knlcap is a reproduction of "Capability Models for Manycore
+// Memory Systems: A Case-Study with Xeon Phi KNL" (Ramos & Hoefler, 2017)
+// as a Go library: a simulated Knights Landing memory system, the paper's
+// benchmarking methodology, the capability model with its cost equations,
+// model-tuned collectives, and the bitonic merge-sort application study.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// substitution rationale, and EXPERIMENTS.md for paper-versus-measured
+// results. The library packages live under internal/; the runnable entry
+// points are the cmd/ binaries and examples/.
+package knlcap

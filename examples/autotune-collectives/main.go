@@ -1,0 +1,57 @@
+// Autotune-collectives: the paper's end-to-end "model-tune" workflow —
+// benchmark the machine, fit a capability model, derive the collective
+// algorithms, and verify on the simulator that they beat the standard
+// baselines.
+//
+//	go run ./examples/autotune-collectives
+package main
+
+import (
+	"fmt"
+
+	"knlcap/internal/bench"
+	"knlcap/internal/coll"
+	"knlcap/internal/core"
+	"knlcap/internal/knl"
+	"knlcap/internal/tune"
+)
+
+func main() {
+	cfg := knl.DefaultConfig()
+	o := bench.DefaultOptions().Quick()
+
+	// Step 1: measure the capabilities of the (simulated) machine.
+	fmt.Println("step 1: benchmarking the machine...")
+	t1 := bench.MeasureTableI(cfg, o)
+	t2 := bench.MeasureTableII(cfg, o, []int{16, 64}, []knl.Schedule{knl.FillTiles})
+
+	// Step 2: fit the capability model.
+	model := core.FromMeasurements(t1, t2, nil)
+	if err := model.Validate(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("step 2: fitted model: RL=%.1f RR=%.1f RI=%.1f beta=%.1f\n",
+		model.RL, model.RR, model.RI, model.CBeta)
+
+	// Step 3: derive the algorithms analytically.
+	bt := tune.Barrier(model, 64)
+	rt := tune.Reduce(model, 32)
+	fmt.Printf("step 3: tuned barrier m=%d (%d rounds); reduce tree %s\n",
+		bt.M, bt.Rounds, rt.Tree)
+
+	// Step 4: run them against the baselines on the simulator.
+	fmt.Println("step 4: measuring tuned vs baselines at 64 threads (scatter)...")
+	o.Iterations = 16
+	o.WindowNs = 1e6
+	p := coll.DefaultParams(64, knl.Scatter)
+	for _, op := range []coll.Op{coll.Barrier, coll.Bcast, coll.Reduce} {
+		tuned := coll.Measure(cfg, model, o, op, coll.Tuned, p)
+		omp := coll.Measure(cfg, model, o, op, coll.OMP, p)
+		mpi := coll.Measure(cfg, model, o, op, coll.MPI, p)
+		fmt.Printf("  %-9v tuned %6.0f ns | omp %7.0f ns (%.1fx) | mpi %7.0f ns (%.1fx) | model [%5.0f, %5.0f]\n",
+			op, tuned.Summary.Med,
+			omp.Summary.Med, omp.Summary.Med/tuned.Summary.Med,
+			mpi.Summary.Med, mpi.Summary.Med/tuned.Summary.Med,
+			tuned.ModelLo, tuned.ModelHi)
+	}
+}

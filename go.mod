@@ -1,0 +1,3 @@
+module knlcap
+
+go 1.22

@@ -1,0 +1,177 @@
+// Package advisor turns the capability model into the flat-mode placement
+// tool the paper calls for: "when using a flat mode, we need performance
+// models in order to decide which data has to be allocated in which
+// memory" (Section VII). Given a workload description — arrays with sizes,
+// access patterns and the thread counts touching them — it assigns each
+// array to MCDRAM or DDR under the 16 GB MCDRAM budget, maximizing the
+// model-predicted time saving per byte (a greedy knapsack, which is optimal
+// up to one fractional item and exact when arrays are small against the
+// budget).
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"knlcap/internal/core"
+	"knlcap/internal/knl"
+)
+
+// Pattern classifies how an array is accessed.
+type Pattern int
+
+const (
+	// Streaming arrays are read/written sequentially at full memory-level
+	// parallelism (triad-like): bandwidth-bound when enough threads touch
+	// them.
+	Streaming Pattern = iota
+	// RandomAccess arrays are hit by dependent loads (pointer chasing,
+	// hash probes): latency-bound at any thread count.
+	RandomAccess
+	// MergeSortLike arrays follow the paper's sort pattern: streaming, but
+	// with the active thread count halving across phases.
+	MergeSortLike
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Streaming:
+		return "streaming"
+	case RandomAccess:
+		return "random"
+	case MergeSortLike:
+		return "merge-sort-like"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Array describes one allocation the workload uses.
+type Array struct {
+	Name  string
+	Bytes int64
+	// Pattern is the dominant access pattern.
+	Pattern Pattern
+	// Threads is the number of threads concurrently touching the array in
+	// its hot phase.
+	Threads int
+	// TouchesPerByte scales importance: how many times each byte moves per
+	// workload execution (1 = each byte read or written once).
+	TouchesPerByte float64
+}
+
+// Placement is the advisor's decision for one array.
+type Placement struct {
+	Array Array
+	// InMCDRAM is the recommendation.
+	InMCDRAM bool
+	// GainNsPerByte is the predicted time saved per byte by MCDRAM
+	// placement (0 or negative means MCDRAM buys nothing).
+	GainNsPerByte float64
+	// Reason is a one-line model-based justification.
+	Reason string
+}
+
+// Plan is the full recommendation.
+type Plan struct {
+	Placements []Placement
+	// MCDRAMBytesUsed out of BudgetBytes.
+	MCDRAMBytesUsed int64
+	BudgetBytes     int64
+	// PredictedSavingNs is the total model-predicted time saved versus
+	// all-DDR placement.
+	PredictedSavingNs float64
+}
+
+// timePerByte predicts ns/byte for an array on the given memory kind.
+func timePerByte(m *core.Model, a Array, kind knl.MemKind) float64 {
+	switch a.Pattern {
+	case RandomAccess:
+		// Latency-bound: one line access serves 64 bytes.
+		return m.MemLatency(kind) / float64(knl.LineSize)
+	case MergeSortLike:
+		// The sort moves every byte once per merge level; normalize its
+		// model cost per byte-touch so gains are comparable with the
+		// single-pass patterns (TouchesPerByte carries the multiplicity).
+		lines := int(a.Bytes / knl.LineSize)
+		if lines < 16 {
+			lines = 16
+		}
+		p := core.DefaultSortParams(m, lines, a.Threads, kind)
+		passes := 1.0
+		for l := lines; l > 1; l /= 2 {
+			passes++
+		}
+		return m.SortCost(p, true) / float64(a.Bytes) / passes
+	default: // Streaming
+		bw := m.AchievableBW(kind, a.Threads)
+		if bw <= 0 {
+			return m.MemLatency(kind) / float64(knl.LineSize)
+		}
+		return 1 / bw // ns per byte at aggregate bandwidth
+	}
+}
+
+// Advise builds a placement plan for the workload under the MCDRAM budget
+// (pass 0 for the full 16 GB).
+func Advise(m *core.Model, arrays []Array, budgetBytes int64) (Plan, error) {
+	if budgetBytes <= 0 {
+		budgetBytes = knl.MCDRAMBytes
+	}
+	if m.Config.Memory == knl.CacheMode {
+		return Plan{}, fmt.Errorf("advisor: no flat MCDRAM to place into in cache mode")
+	}
+	type scored struct {
+		a    Array
+		gain float64 // ns saved per byte
+	}
+	var cands []scored
+	plan := Plan{BudgetBytes: budgetBytes}
+	for _, a := range arrays {
+		if a.Bytes <= 0 || a.Threads < 1 || a.TouchesPerByte < 0 {
+			return Plan{}, fmt.Errorf("advisor: array %q has invalid parameters", a.Name)
+		}
+		touches := a.TouchesPerByte
+		if touches == 0 {
+			touches = 1
+		}
+		gain := (timePerByte(m, a, knl.DDR) - timePerByte(m, a, knl.MCDRAM)) * touches
+		cands = append(cands, scored{a: a, gain: gain})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].gain > cands[j].gain })
+
+	used := int64(0)
+	for _, c := range cands {
+		pl := Placement{Array: c.a, GainNsPerByte: c.gain}
+		switch {
+		case c.gain <= 0:
+			pl.Reason = fmt.Sprintf("%s access: MCDRAM saves nothing (%.3f ns/B); keep in DDR",
+				c.a.Pattern, c.gain)
+		case used+c.a.Bytes > budgetBytes:
+			pl.Reason = fmt.Sprintf("would save %.3f ns/B but exceeds the MCDRAM budget", c.gain)
+		default:
+			pl.InMCDRAM = true
+			used += c.a.Bytes
+			plan.PredictedSavingNs += c.gain * float64(c.a.Bytes)
+			pl.Reason = fmt.Sprintf("%s with %d threads: %.3f ns/B saved in MCDRAM",
+				c.a.Pattern, c.a.Threads, c.gain)
+		}
+		plan.Placements = append(plan.Placements, pl)
+	}
+	plan.MCDRAMBytesUsed = used
+	return plan, nil
+}
+
+// String renders the plan as a short report.
+func (p Plan) String() string {
+	out := fmt.Sprintf("MCDRAM used: %d of %d bytes; predicted saving %.0f ns\n",
+		p.MCDRAMBytesUsed, p.BudgetBytes, p.PredictedSavingNs)
+	for _, pl := range p.Placements {
+		loc := "DDR   "
+		if pl.InMCDRAM {
+			loc = "MCDRAM"
+		}
+		out += fmt.Sprintf("  %-16s -> %s  (%s)\n", pl.Array.Name, loc, pl.Reason)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"knlcap/internal/core"
+	"knlcap/internal/knl"
+)
+
+func model() *core.Model { return core.Default() }
+
+func TestAdviseStreamingGoesToMCDRAM(t *testing.T) {
+	plan, err := Advise(model(), []Array{
+		{Name: "triad-a", Bytes: 1 << 30, Pattern: Streaming, Threads: 128},
+		{Name: "chase", Bytes: 1 << 30, Pattern: RandomAccess, Threads: 16},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Placement{}
+	for _, p := range plan.Placements {
+		byName[p.Array.Name] = p
+	}
+	if !byName["triad-a"].InMCDRAM {
+		t.Error("saturated streaming array should go to MCDRAM")
+	}
+	if byName["chase"].InMCDRAM {
+		t.Error("latency-bound array should stay in DDR (MCDRAM is slower)")
+	}
+	if byName["chase"].GainNsPerByte >= 0 {
+		t.Errorf("random-access MCDRAM gain should be negative, got %v",
+			byName["chase"].GainNsPerByte)
+	}
+	if plan.PredictedSavingNs <= 0 {
+		t.Error("plan should predict a positive saving")
+	}
+}
+
+func TestAdviseSortArraysStayInDDR(t *testing.T) {
+	// The paper's headline, as placement advice: the merge sort's buffers
+	// gain (almost) nothing from MCDRAM.
+	plan, err := Advise(model(), []Array{
+		{Name: "sort-pingpong", Bytes: 1 << 30, Pattern: MergeSortLike, Threads: 256},
+		{Name: "stream", Bytes: 1 << 30, Pattern: Streaming, Threads: 256},
+	}, 1<<30) // budget for one array only
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plan.Placements {
+		switch p.Array.Name {
+		case "stream":
+			if !p.InMCDRAM {
+				t.Error("the streaming array should win the budget")
+			}
+		case "sort-pingpong":
+			if p.InMCDRAM {
+				t.Error("the sort buffers should lose the budget contest")
+			}
+		}
+	}
+}
+
+func TestAdviseBudgetRespected(t *testing.T) {
+	arrays := []Array{
+		{Name: "a", Bytes: 10 << 30, Pattern: Streaming, Threads: 128},
+		{Name: "b", Bytes: 10 << 30, Pattern: Streaming, Threads: 128},
+	}
+	plan, err := Advise(model(), arrays, 0) // 16 GB budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MCDRAMBytesUsed > knl.MCDRAMBytes {
+		t.Errorf("used %d bytes, budget %d", plan.MCDRAMBytesUsed, int64(knl.MCDRAMBytes))
+	}
+	inCount := 0
+	for _, p := range plan.Placements {
+		if p.InMCDRAM {
+			inCount++
+		}
+	}
+	if inCount != 1 {
+		t.Errorf("%d arrays placed, want exactly 1 under the budget", inCount)
+	}
+}
+
+func TestAdviseTouchWeighting(t *testing.T) {
+	// A hot small array beats a cold large one for the same budget.
+	plan, err := Advise(model(), []Array{
+		{Name: "hot", Bytes: 1 << 20, Pattern: Streaming, Threads: 64, TouchesPerByte: 100},
+		{Name: "cold", Bytes: 1 << 20, Pattern: Streaming, Threads: 64, TouchesPerByte: 1},
+	}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plan.Placements {
+		if p.Array.Name == "hot" && !p.InMCDRAM {
+			t.Error("hot array should win")
+		}
+		if p.Array.Name == "cold" && p.InMCDRAM {
+			t.Error("cold array should lose")
+		}
+	}
+}
+
+func TestAdviseErrors(t *testing.T) {
+	if _, err := Advise(model(), []Array{{Name: "x", Bytes: 0, Threads: 1}}, 0); err == nil {
+		t.Error("zero-byte array accepted")
+	}
+	m := model()
+	m.Config = knl.DefaultConfig().WithModes(knl.SNC4, knl.CacheMode)
+	if _, err := Advise(m, []Array{{Name: "x", Bytes: 64, Threads: 1}}, 0); err == nil {
+		t.Error("cache-mode advice accepted")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	plan, err := Advise(model(), []Array{
+		{Name: "s", Bytes: 1 << 20, Pattern: Streaming, Threads: 64},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := plan.String()
+	if !strings.Contains(out, "MCDRAM") || !strings.Contains(out, "s") {
+		t.Errorf("report missing content:\n%s", out)
+	}
+}
+
+func TestLowThreadStreamingStaysInDDR(t *testing.T) {
+	// A single-threaded stream cannot use MCDRAM's bandwidth: both
+	// memories are latency-bound, so the advisor should see ~no gain.
+	plan, err := Advise(model(), []Array{
+		{Name: "solo", Bytes: 1 << 20, Pattern: Streaming, Threads: 1},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := plan.Placements[0].GainNsPerByte; g > 0.001 {
+		t.Errorf("single-thread stream gain = %v ns/B, want ~0", g)
+	}
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"knlcap/internal/cache"
+	"knlcap/internal/knl"
+	"knlcap/internal/machine"
+	"knlcap/internal/stats"
+)
+
+// CacheBandwidths holds the bandwidth section of Table I (GB/s of message
+// payload, the Xeon Phi benchmark convention).
+type CacheBandwidths struct {
+	Config knl.Config
+	// Read is the single-thread vectorized read of a remote-cache message
+	// into registers.
+	Read float64
+	// CopyTileM/E copy a message from the sibling core's cache.
+	CopyTileM, CopyTileE float64
+	// CopyRemote copies from a remote tile (max median across sizes).
+	CopyRemote float64
+}
+
+// copyOnce measures the median payload bandwidth (GB/s) of copying a
+// message of `lines` lines held by core `owner` in state st into a local
+// buffer, re-priming between iterations.
+func copyOnce(cfg knl.Config, o Options, owner int, st cache.State, lines int, read bool) float64 {
+	m := machine.New(cfg)
+	src := m.Alloc.MustAlloc(knl.DDR, 0, int64(lines)*knl.LineSize)
+	dst := m.Alloc.MustAlloc(knl.DDR, 0, int64(lines)*knl.LineSize)
+	var vals []float64
+	m.Spawn(knl.Place{Tile: 0, Core: 0}, func(th *machine.Thread) {
+		for it := 0; it < o.Iterations; it++ {
+			m.Prime(src, owner, st)
+			m.Prime(dst, 0, cache.Modified)
+			start := th.Now()
+			if read {
+				th.ReadStream(src, true)
+			} else {
+				th.CopyStream(dst, src, false)
+			}
+			vals = append(vals, float64(lines*knl.LineSize)/(th.Now()-start))
+		}
+	})
+	if _, err := m.Run(); err != nil {
+		panic(err)
+	}
+	return stats.Median(vals)
+}
+
+// MeasureCacheBandwidths regenerates the Table I bandwidth rows: the
+// maximum median across message sizes from 1 line to 256 KB.
+func MeasureCacheBandwidths(cfg knl.Config, o Options, sizes []int) CacheBandwidths {
+	if len(sizes) == 0 {
+		sizes = []int{16, 128, 1024, 4096} // lines: 1 KB .. 256 KB
+	}
+	out := CacheBandwidths{Config: cfg}
+	remoteOwner := knl.NumCores / 2 // a tile far enough to be remote
+	maxOver := func(f func(lines int) float64) float64 {
+		best := 0.0
+		for _, sz := range sizes {
+			if v := f(sz); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	out.Read = maxOver(func(n int) float64 {
+		return copyOnce(cfg, o, remoteOwner, cache.Exclusive, n, true)
+	})
+	out.CopyTileM = maxOver(func(n int) float64 {
+		return copyOnce(cfg, o, 1, cache.Modified, n, false)
+	})
+	out.CopyTileE = maxOver(func(n int) float64 {
+		return copyOnce(cfg, o, 1, cache.Exclusive, n, false)
+	})
+	out.CopyRemote = maxOver(func(n int) float64 {
+		return copyOnce(cfg, o, remoteOwner, cache.Exclusive, n, false)
+	})
+	return out
+}
+
+// Placement classifies the source location of a Figure 5 series.
+type Placement int
+
+const (
+	SameTile Placement = iota
+	SameQuadrant
+	RemoteQuadrant
+)
+
+func (p Placement) String() string {
+	switch p {
+	case SameTile:
+		return "same-tile"
+	case SameQuadrant:
+		return "same-quadrant"
+	default:
+		return "remote-quadrant"
+	}
+}
+
+// SizePoint is one Figure 5 data point.
+type SizePoint struct {
+	Placement Placement
+	State     cache.State
+	Bytes     int
+	GBs       float64
+}
+
+// ownerForPlacement picks a source core for the placement class relative
+// to core 0 using the floorplan's quadrant geometry.
+func ownerForPlacement(cfg knl.Config, pl Placement) int {
+	fp := knl.NewFloorplan(cfg.YieldSeed)
+	q0 := fp.TileQuadrant(0)
+	switch pl {
+	case SameTile:
+		return 1
+	case SameQuadrant:
+		for t := 1; t < fp.NumTiles(); t++ {
+			if fp.TileQuadrant(t) == q0 {
+				return t * knl.CoresPerTile
+			}
+		}
+	case RemoteQuadrant:
+		for t := 1; t < fp.NumTiles(); t++ {
+			// Diagonal quadrant: differs in both hemisphere and half.
+			if fp.TileQuadrant(t) == q0^3 {
+				return t * knl.CoresPerTile
+			}
+		}
+	}
+	panic("bench: no core found for placement")
+}
+
+// MeasureCopyBySize regenerates Figure 5: copy bandwidth versus message
+// size (64 B - 256 KB) for M and E source states and the three placements,
+// under the given configuration (the paper uses SNC4-cache).
+func MeasureCopyBySize(cfg knl.Config, o Options, sizesBytes []int) []SizePoint {
+	if len(sizesBytes) == 0 {
+		for b := 64; b <= 256<<10; b *= 4 {
+			sizesBytes = append(sizesBytes, b)
+		}
+	}
+	var out []SizePoint
+	for _, pl := range []Placement{SameTile, SameQuadrant, RemoteQuadrant} {
+		owner := ownerForPlacement(cfg, pl)
+		for _, st := range []cache.State{cache.Modified, cache.Exclusive} {
+			for _, bytes := range sizesBytes {
+				lines := bytes / knl.LineSize
+				if lines < 1 {
+					lines = 1
+				}
+				gbs := copyOnce(cfg, o, owner, st, lines, false)
+				out = append(out, SizePoint{
+					Placement: pl, State: st, Bytes: lines * knl.LineSize, GBs: gbs,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+// Package bench implements the paper's benchmarking methodology (Sections
+// III-V) against the simulated machine: BenchIT-style pointer-chasing
+// latency, cache-to-cache bandwidth by state and placement, 1:N contention,
+// P2P congestion, and the STREAM-style memory kernels with thread sweeps —
+// everything needed to regenerate Tables I and II and Figures 4, 5 and 9.
+//
+// All benchmarks report medians (the paper: "We report medians that are
+// within the 10% of the 95% confidence intervals"); multi-threaded
+// benchmarks synchronize iterations with start windows and record the
+// maximum value measured per iteration, like the Xeon Phi benchmark suite.
+package bench
+
+import (
+	"knlcap/internal/knl"
+	"knlcap/internal/stats"
+)
+
+// Options scale the measurement effort. The paper uses 5000 averages of
+// 1024 passes (latency) and 1000 iterations (bandwidth); the defaults here
+// are scaled down to keep a full table regeneration interactive on one
+// host core — the protocol is identical and the parameters are flags on
+// the cmd binaries.
+type Options struct {
+	// Averages is the number of averaged measurements forming the sample
+	// whose median is reported (BenchIT "5000 averages").
+	Averages int
+	// Passes is the number of passes per average (BenchIT "1024 passes",
+	// each of ChaseLen accesses).
+	Passes int
+	// ChaseLen is the pointer-chain length per pass (BenchIT: 32).
+	ChaseLen int
+	// Iterations is the per-configuration iteration count of the bandwidth
+	// and collective benchmarks (paper: 1000).
+	Iterations int
+	// WindowNs is the synchronized-start window length for multi-threaded
+	// iterations; it must exceed the slowest iteration.
+	WindowNs float64
+	// Seed drives randomized buffer selection.
+	Seed uint64
+	// StreamLines is the per-thread, per-buffer size (in cache lines) of
+	// the memory-bandwidth kernels.
+	StreamLines int
+	// BuffersPerThread is the pool size for random buffer selection
+	// (paper: "random buffers selected from a larger one").
+	BuffersPerThread int
+}
+
+// DefaultOptions returns measurement parameters sized for interactive runs.
+func DefaultOptions() Options {
+	return Options{
+		Averages:         25,
+		Passes:           4,
+		ChaseLen:         32,
+		Iterations:       60,
+		WindowNs:         2e6,
+		Seed:             1,
+		StreamLines:      256,
+		BuffersPerThread: 4,
+	}
+}
+
+// Quick returns a minimal-effort variant for unit tests.
+func (o Options) Quick() Options {
+	o.Averages = 8
+	o.Passes = 2
+	o.Iterations = 10
+	o.StreamLines = 128
+	o.BuffersPerThread = 2
+	return o
+}
+
+// Sample is a measured distribution with its reduction.
+type Sample struct {
+	Values []float64
+	Median float64
+	CILo   float64 // 95% confidence interval of the median
+	CIHi   float64
+}
+
+// NewSample reduces raw values into a Sample.
+func NewSample(values []float64) Sample {
+	s := Sample{Values: values}
+	if len(values) > 0 {
+		s.Median = stats.Median(values)
+		s.CILo, s.CIHi = stats.MedianCI(values, 0.95)
+	}
+	return s
+}
+
+// Range is a min-max band, as reported for the distance-dependent cells of
+// Tables I and II.
+type Range struct{ Lo, Hi float64 }
+
+// RangeOf computes the range of xs.
+func RangeOf(xs []float64) Range {
+	if len(xs) == 0 {
+		return Range{}
+	}
+	return Range{Lo: stats.Min(xs), Hi: stats.Max(xs)}
+}
+
+// Contains reports whether v lies within the range (inclusive).
+func (r Range) Contains(v float64) bool { return v >= r.Lo && v <= r.Hi }
+
+// placesFor pins n threads with the schedule on the standard chip.
+func placesFor(sched knl.Schedule, n int) []knl.Place {
+	return knl.Pin(sched, knl.ActiveTiles, n)
+}

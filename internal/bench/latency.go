@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"knlcap/internal/cache"
+	"knlcap/internal/knl"
+	"knlcap/internal/machine"
+	"knlcap/internal/memmode"
+	"knlcap/internal/stats"
+)
+
+// chase measures BenchIT-style pointer-chasing latency on machine m from
+// the given core: Averages averages, each of Passes passes of ChaseLen
+// dependent accesses over the buffer, re-establishing the cache state with
+// prime before every pass. It returns the per-access latency sample.
+func chase(m *machine.Machine, core int, b memmode.Buffer, o Options,
+	prime func()) Sample {
+	rng := stats.NewRNG(o.Seed ^ 0xc1a5e)
+	nl := b.NumLines()
+	var avgs []float64
+	m.Spawn(knl.Place{Tile: core / knl.CoresPerTile, Core: core}, func(th *machine.Thread) {
+		for a := 0; a < o.Averages; a++ {
+			var total float64
+			for p := 0; p < o.Passes; p++ {
+				prime()
+				perm := rng.Perm(nl)
+				start := th.Now()
+				for i := 0; i < o.ChaseLen; i++ {
+					th.Load(b, perm[i%nl])
+				}
+				total += (th.Now() - start) / float64(o.ChaseLen)
+			}
+			avgs = append(avgs, total/float64(o.Passes))
+		}
+	})
+	if _, err := m.Run(); err != nil {
+		panic(err)
+	}
+	return NewSample(avgs)
+}
+
+// CacheLatencies holds the latency section of Table I for one configuration.
+type CacheLatencies struct {
+	Config knl.Config
+	// LocalL1 is the L1-resident load latency.
+	LocalL1 float64
+	// Tile* are same-tile (sibling core) latencies by state.
+	TileM, TileE, TileSF float64
+	// Remote* are min-max bands over remote tiles by state. RemoteSF is
+	// the combined band (the table's "S,F" row); RemoteS and RemoteF
+	// distinguish which copy the request is served from (the paper reports
+	// 5-15% differences between them).
+	RemoteM, RemoteE, RemoteSF Range
+	RemoteS, RemoteF           Range
+}
+
+// MeasureCacheLatencies regenerates the Table I latency rows for cfg.
+// remoteTargets limits how many remote cores are sampled for the bands
+// (<=0 means a representative set of 8).
+func MeasureCacheLatencies(cfg knl.Config, o Options, remoteTargets int) CacheLatencies {
+	if remoteTargets <= 0 {
+		remoteTargets = 8
+	}
+	out := CacheLatencies{Config: cfg}
+
+	run := func(owner int, st cache.State) float64 {
+		m := machine.New(cfg)
+		b := m.Alloc.MustAlloc(knl.DDR, 0, int64(o.ChaseLen)*knl.LineSize)
+		prime := func() { m.Prime(b, owner, st) }
+		return chase(m, 0, b, o, prime).Median
+	}
+
+	out.LocalL1 = run(0, cache.Exclusive)
+	out.TileM = run(1, cache.Modified)
+	out.TileE = run(1, cache.Exclusive)
+	out.TileSF = run(1, cache.Shared)
+
+	// Remote bands: sample owner cores spread over the die.
+	var rm, re, rs, rf []float64
+	step := (knl.NumCores - 2) / remoteTargets
+	if step < 2 {
+		step = 2
+	}
+	for owner := 2; owner < knl.NumCores; owner += step {
+		rm = append(rm, run(owner, cache.Modified))
+		re = append(re, run(owner, cache.Exclusive))
+		rs = append(rs, run(owner, cache.Shared))
+		rf = append(rf, run(owner, cache.Forward))
+	}
+	out.RemoteM = RangeOf(rm)
+	out.RemoteE = RangeOf(re)
+	out.RemoteS = RangeOf(rs)
+	out.RemoteF = RangeOf(rf)
+	out.RemoteSF = RangeOf(append(append([]float64(nil), rs...), rf...))
+	return out
+}
+
+// PerCoreLatency is one Figure 4 data point.
+type PerCoreLatency struct {
+	Core    int
+	State   cache.State
+	Latency float64
+}
+
+// MeasurePerCoreLatencies regenerates Figure 4: the latency of cache-line
+// transfers between core 0 and every other core for the given states
+// (M, E and I in the paper; I means the line is uncached and comes from
+// memory).
+func MeasurePerCoreLatencies(cfg knl.Config, o Options, states []cache.State) []PerCoreLatency {
+	var out []PerCoreLatency
+	for _, st := range states {
+		for owner := 1; owner < knl.NumCores; owner++ {
+			m := machine.New(cfg)
+			b := m.Alloc.MustAlloc(knl.DDR, 0, int64(o.ChaseLen)*knl.LineSize)
+			owner := owner
+			st := st
+			var prime func()
+			if st == cache.Invalid {
+				prime = func() { m.FlushBuffer(b) }
+			} else {
+				prime = func() { m.Prime(b, owner, st) }
+			}
+			s := chase(m, 0, b, o, prime)
+			out = append(out, PerCoreLatency{Core: owner, State: st, Latency: s.Median})
+		}
+	}
+	return out
+}
+
+// MemLatencies holds the Table II latency rows for one configuration.
+type MemLatencies struct {
+	Config knl.Config
+	DRAM   Range // band across NUMA placements (single value width 0 for UMA)
+	MCDRAM Range
+	Cache  Range // cache-mode latency (only when cfg.Memory is CacheMode)
+}
+
+// MeasureMemLatencies regenerates the Table II latency rows: uncached
+// pointer chasing against DRAM and MCDRAM (flat mode), or against the
+// MCDRAM side cache mix (cache mode).
+func MeasureMemLatencies(cfg knl.Config, o Options) MemLatencies {
+	out := MemLatencies{Config: cfg}
+	measure := func(kind knl.MemKind, affinity int) float64 {
+		m := machine.New(cfg)
+		b := m.Alloc.MustAlloc(kind, affinity, int64(o.ChaseLen)*knl.LineSize)
+		prime := func() { m.FlushBuffer(b) }
+		return chase(m, 0, b, o, prime).Median
+	}
+	if cfg.Memory == knl.CacheMode {
+		// Working set twice the side cache, randomly visited: the median
+		// reflects the hit/miss mix.
+		m := machine.New(cfg)
+		b := m.Alloc.MustAlloc(knl.DDR, 0, 2*cfg.MCDRAMCacheBytes())
+		prime := func() {} // keep the side cache warm; flush only L1/L2
+		rng := stats.NewRNG(o.Seed)
+		nl := b.NumLines()
+		var avgs []float64
+		m.Spawn(knl.Place{}, func(th *machine.Thread) {
+			for a := 0; a < o.Averages; a++ {
+				var total float64
+				for p := 0; p < o.Passes; p++ {
+					prime()
+					start := th.Now()
+					for i := 0; i < o.ChaseLen; i++ {
+						li := rng.Intn(nl)
+						m.FlushLine(b.Line(li))
+						th.Load(b, li)
+					}
+					total += (th.Now() - start) / float64(o.ChaseLen)
+				}
+				avgs = append(avgs, total/float64(o.Passes))
+			}
+		})
+		if _, err := m.Run(); err != nil {
+			panic(err)
+		}
+		s := NewSample(avgs)
+		lo, hi := s.CILo, s.CIHi
+		out.Cache = Range{Lo: lo, Hi: hi}
+		return out
+	}
+	// Flat mode: in SNC modes the band spans local vs remote cluster
+	// allocations; transparent modes give a single value.
+	if cfg.Cluster.NUMAVisible() {
+		n := cfg.Cluster.Clusters()
+		var dr, mc []float64
+		for aff := 0; aff < n; aff++ {
+			dr = append(dr, measure(knl.DDR, aff))
+			mc = append(mc, measure(knl.MCDRAM, aff))
+		}
+		out.DRAM = RangeOf(dr)
+		out.MCDRAM = RangeOf(mc)
+		return out
+	}
+	d := measure(knl.DDR, 0)
+	mcd := measure(knl.MCDRAM, 0)
+	out.DRAM = Range{Lo: d, Hi: d}
+	out.MCDRAM = Range{Lo: mcd, Hi: mcd}
+	return out
+}

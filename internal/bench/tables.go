@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"knlcap/internal/knl"
+)
+
+// TableI aggregates every row of the paper's Table I for one cluster mode.
+type TableI struct {
+	Latency    CacheLatencies
+	Bandwidth  CacheBandwidths
+	Congestion CongestionResult
+	Contention ContentionResult
+}
+
+// MeasureTableI regenerates one Table I column.
+func MeasureTableI(cfg knl.Config, o Options) TableI {
+	return TableI{
+		Latency:    MeasureCacheLatencies(cfg, o, 0),
+		Bandwidth:  MeasureCacheBandwidths(cfg, o, nil),
+		Congestion: MeasureCongestion(cfg, o, 0),
+		Contention: MeasureContention(cfg, o, nil),
+	}
+}
+
+// TableIIKind is one memory technology's bandwidth block in Table II.
+type TableIIKind struct {
+	CopyNT     float64
+	StreamCopy float64
+	Read       float64
+	Write      float64
+	TriadNT    float64
+	StreamTrd  float64
+}
+
+// TableII aggregates one Table II column (one cluster mode, one memory
+// mode). In flat mode both kinds are populated; in cache mode only DRAM
+// carries the (side-cached) numbers; hybrid mode populates both — DRAM
+// through the half-sized side cache plus the flat MCDRAM partition.
+type TableII struct {
+	Config  knl.Config
+	Latency MemLatencies
+	DRAM    TableIIKind
+	MCDRAM  TableIIKind // zero in cache mode
+}
+
+// MeasureTableII regenerates one Table II column. threadCounts/scheds
+// bound the max-median sweep (nil for defaults).
+func MeasureTableII(cfg knl.Config, o Options, threadCounts []int, scheds []knl.Schedule) TableII {
+	out := TableII{Config: cfg, Latency: MeasureMemLatencies(cfg, o)}
+	kinds := []knl.MemKind{knl.DDR}
+	if cfg.Memory == knl.Flat || cfg.Memory == knl.Hybrid {
+		kinds = append(kinds, knl.MCDRAM)
+	}
+	for _, kind := range kinds {
+		blk := TableIIKind{
+			CopyNT:  MaxMedianBandwidth(cfg, o, KernelCopy, kind, true, threadCounts, scheds).GBs,
+			Read:    MaxMedianBandwidth(cfg, o, KernelRead, kind, true, threadCounts, scheds).GBs,
+			Write:   MaxMedianBandwidth(cfg, o, KernelWrite, kind, true, threadCounts, scheds).GBs,
+			TriadNT: MaxMedianBandwidth(cfg, o, KernelTriad, kind, true, threadCounts, scheds).GBs,
+		}
+		peakThreads := 64
+		if kind == knl.MCDRAM {
+			peakThreads = 128
+		}
+		blk.StreamCopy = MeasureStreamPeak(cfg, o, KernelCopy, kind, peakThreads, knl.FillTiles)
+		blk.StreamTrd = MeasureStreamPeak(cfg, o, KernelTriad, kind, peakThreads, knl.FillTiles)
+		if kind == knl.DDR {
+			out.DRAM = blk
+		} else {
+			out.MCDRAM = blk
+		}
+	}
+	return out
+}

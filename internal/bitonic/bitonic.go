@@ -1,0 +1,48 @@
+// Package bitonic implements the width-16 bitonic sorting and merging
+// networks the paper's merge sort builds on (Section V-B): the KNL
+// implementation runs them as AVX-512 permute/min/max sequences over one
+// cache line of int32; here the same networks run as straight-line Go
+// compare-exchange code. Width 16 means one 64 B line per vector, so the
+// per-merge line counts of Equations 3-5 carry over exactly.
+package bitonic
+
+// Width is the network width in int32 elements (one cache line).
+const Width = 16
+
+// Sort16 sorts 16 int32 elements in place with the full bitonic sorting
+// network (10 levels of 8 compare-exchanges, the depth an AVX-512
+// implementation pipelines). Generic element types: Sort16Of.
+func Sort16(v *[16]int32) { Sort16Of(v) }
+
+// Merge16 merges two sorted 16-element vectors: on return lo holds the 16
+// smallest and hi the 16 largest, both sorted ascending. This is the
+// network applied once per produced line in the merge kernel.
+func Merge16(lo, hi *[16]int32) { Merge16Of(lo, hi) }
+
+// MergeSorted merges two sorted int32 slices into dst using the width-16
+// network, the streaming pattern of the paper's merge kernel: keep a
+// 16-element "output carry" register, repeatedly merge it with the next
+// vector from whichever input has the smaller head, and emit the low half.
+// len(dst) must equal len(a)+len(b); inputs must be multiples of 16 and
+// sorted ascending. Returns the number of network applications (the
+// compute-model observable).
+//
+// Correctness of the head-selection rule: every element already in the
+// carry is bounded by its origin list's current head (lists are sorted and
+// whole vectors are consumed), so the 16 smallest of carry+next are always
+// smaller than everything unconsumed.
+func MergeSorted(dst, a, b []int32) int { return MergeSortedOf(dst, a, b) }
+
+// SortBlock sorts a slice whose length is a multiple of 16 in place:
+// network-sort each 16-block, then ping-pong merge passes with the width-16
+// merge kernel. This is the thread-local phase of the parallel sort.
+// Returns the number of network applications.
+func SortBlock(v []int32) int { return SortBlockOf(v) }
+
+// IsSorted reports whether v is in non-decreasing order.
+func IsSorted(v []int32) bool { return IsSortedOf(v) }
+
+// NetworkOpsPerLine is the instruction-model constant: one Merge16 per
+// produced line, matching the "n writes and n reads per merge" accounting
+// of Section V-B.1.
+const NetworkOpsPerLine = 1

@@ -1,0 +1,68 @@
+package bitonic
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// FuzzMergeSorted feeds arbitrary byte blobs as two sorted int32 lists and
+// checks the width-16 merge against the reference merge. Run with
+// `go test -fuzz FuzzMergeSorted ./internal/bitonic` for open-ended
+// exploration; the seeds run as regular tests.
+func FuzzMergeSorted(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, []byte{5, 6, 7, 8})
+	f.Add(make([]byte, 256), []byte{0xff, 0x00, 0x80, 0x7f})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a := bytesToSortedBlocks(rawA, 8)
+		b := bytesToSortedBlocks(rawB, 8)
+		dst := make([]int32, len(a)+len(b))
+		MergeSorted(dst, a, b)
+		want := append(append([]int32(nil), a...), b...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("merge mismatch at %d: got %d want %d (na=%d nb=%d)",
+					i, dst[i], want[i], len(a), len(b))
+			}
+		}
+	})
+}
+
+// FuzzSortBlock checks the full network sort against the standard library.
+func FuzzSortBlock(f *testing.F) {
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		v := bytesToInt32s(raw, 16)
+		want := append([]int32(nil), v...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		SortBlock(v)
+		for i := range v {
+			if v[i] != want[i] {
+				t.Fatalf("sort mismatch at %d", i)
+			}
+		}
+	})
+}
+
+// bytesToInt32s decodes raw into int32s, truncated to a multiple of 16 and
+// capped at maxBlocks blocks.
+func bytesToInt32s(raw []byte, maxBlocks int) []int32 {
+	n := len(raw) / 4
+	n = (n / Width) * Width
+	if n > maxBlocks*Width {
+		n = maxBlocks * Width
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	return out
+}
+
+// bytesToSortedBlocks decodes and sorts raw (a valid MergeSorted input).
+func bytesToSortedBlocks(raw []byte, maxBlocks int) []int32 {
+	out := bytesToInt32s(raw, maxBlocks)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,148 @@
+package bitonic
+
+// Ordered constrains the element types the networks support. Width 16
+// corresponds to one cache line only for 4-byte elements; for 8-byte
+// elements a vector spans two lines (the paper's models use int32).
+type Ordered interface {
+	~int | ~int32 | ~int64 | ~uint32 | ~uint64 | ~float32 | ~float64
+}
+
+func ceOf[T Ordered](v []T, i, j int) {
+	if v[i] > v[j] {
+		v[i], v[j] = v[j], v[i]
+	}
+}
+
+// Sort16Of sorts 16 elements in place with the full bitonic network.
+func Sort16Of[T Ordered](v *[16]T) {
+	s := v[:]
+	for k := 2; k <= 16; k *= 2 {
+		for j := k / 2; j > 0; j /= 2 {
+			for i := 0; i < 16; i++ {
+				l := i ^ j
+				if l > i {
+					if i&k == 0 {
+						ceOf(s, i, l)
+					} else {
+						ceOf(s, l, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Merge16Of merges two sorted 16-element vectors: lo gets the smallest 16,
+// hi the largest, both sorted.
+func Merge16Of[T Ordered](lo, hi *[16]T) {
+	for i, j := 0, 15; i < j; i, j = i+1, j-1 {
+		hi[i], hi[j] = hi[j], hi[i]
+	}
+	for i := 0; i < 16; i++ {
+		if lo[i] > hi[i] {
+			lo[i], hi[i] = hi[i], lo[i]
+		}
+	}
+	cleanBitonicOf(lo[:])
+	cleanBitonicOf(hi[:])
+}
+
+func cleanBitonicOf[T Ordered](s []T) {
+	for j := 8; j > 0; j /= 2 {
+		for i := 0; i < 16; i++ {
+			l := i ^ j
+			if l > i {
+				ceOf(s, i, l)
+			}
+		}
+	}
+}
+
+// MergeSortedOf merges two sorted slices with the width-16 network (see
+// MergeSorted for the streaming carry scheme and its invariants).
+func MergeSortedOf[T Ordered](dst, a, b []T) int {
+	if len(a)%Width != 0 || len(b)%Width != 0 || len(dst) != len(a)+len(b) {
+		panic("bitonic: inputs must be multiples of 16 and dst sized to fit")
+	}
+	nets := 0
+	switch {
+	case len(a) == 0:
+		copy(dst, b)
+		return 0
+	case len(b) == 0:
+		copy(dst, a)
+		return 0
+	}
+	var lo, hi [16]T
+	copy(lo[:], a[:Width])
+	ai, bi, di := Width, 0, 0
+	for {
+		var next []T
+		if ai < len(a) && (bi >= len(b) || a[ai] <= b[bi]) {
+			next = a[ai : ai+Width]
+			ai += Width
+		} else if bi < len(b) {
+			next = b[bi : bi+Width]
+			bi += Width
+		} else {
+			copy(dst[di:], lo[:])
+			return nets
+		}
+		copy(hi[:], next)
+		Merge16Of(&lo, &hi)
+		nets++
+		copy(dst[di:], lo[:])
+		di += Width
+		lo = hi
+	}
+}
+
+// SortBlockOf sorts a slice whose length is a multiple of 16 in place.
+func SortBlockOf[T Ordered](v []T) int {
+	n := len(v)
+	if n%Width != 0 {
+		panic("bitonic: length must be a multiple of 16")
+	}
+	if n == 0 {
+		return 0
+	}
+	nets := 0
+	var blk [16]T
+	for i := 0; i < n; i += Width {
+		copy(blk[:], v[i:i+Width])
+		Sort16Of(&blk)
+		copy(v[i:i+Width], blk[:])
+		nets++
+	}
+	buf := make([]T, n)
+	src, dst := v, buf
+	for run := Width; run < n; run *= 2 {
+		for lo := 0; lo < n; lo += 2 * run {
+			mid := lo + run
+			hiEnd := lo + 2*run
+			if mid >= n {
+				copy(dst[lo:n], src[lo:n])
+				continue
+			}
+			if hiEnd > n {
+				hiEnd = n
+			}
+			nets += MergeSortedOf(dst[lo:hiEnd], src[lo:mid], src[mid:hiEnd])
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &v[0] {
+		copy(v, src)
+	}
+	return nets
+}
+
+// IsSortedOf reports whether v is in non-decreasing order.
+func IsSortedOf[T Ordered](v []T) bool {
+	for i := 1; i < len(v); i++ {
+		if v[i-1] > v[i] {
+			return false
+		}
+	}
+	return true
+}

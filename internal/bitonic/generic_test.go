@@ -1,0 +1,91 @@
+package bitonic
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"knlcap/internal/stats"
+)
+
+func TestSortBlockOfInt64(t *testing.T) {
+	rng := stats.NewRNG(11)
+	v := make([]int64, 64*Width)
+	for i := range v {
+		v[i] = int64(rng.Uint64())
+	}
+	want := append([]int64(nil), v...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	SortBlockOf(v)
+	for i := range v {
+		if v[i] != want[i] {
+			t.Fatalf("int64 sort mismatch at %d", i)
+		}
+	}
+}
+
+func TestSortBlockOfFloat32(t *testing.T) {
+	rng := stats.NewRNG(12)
+	v := make([]float32, 16*Width)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	want := append([]float32(nil), v...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	SortBlockOf(v)
+	for i := range v {
+		if v[i] != want[i] {
+			t.Fatalf("float32 sort mismatch at %d", i)
+		}
+	}
+}
+
+func TestMergeSortedOfUint64Property(t *testing.T) {
+	f := func(rawA, rawB []uint64) bool {
+		a := rawA[:(len(rawA)/Width)*Width]
+		b := rawB[:(len(rawB)/Width)*Width]
+		a = append([]uint64(nil), a...)
+		b = append([]uint64(nil), b...)
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		dst := make([]uint64, len(a)+len(b))
+		MergeSortedOf(dst, a, b)
+		return IsSortedOf(dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSort16OfWithDuplicatesAndExtremes(t *testing.T) {
+	v := [16]float64{math.Inf(1), -1, 0, 0, math.Inf(-1), 5, 5, 5,
+		-0.5, 2, 2, 1e300, -1e300, 3, 3, 0}
+	want := append([]float64(nil), v[:]...)
+	sort.Float64s(want)
+	Sort16Of(&v)
+	for i := range v {
+		if v[i] != want[i] {
+			t.Fatalf("float64 extremes sort mismatch at %d: %v", i, v)
+		}
+	}
+}
+
+func TestGenericAndInt32AgreeExactly(t *testing.T) {
+	rng := stats.NewRNG(13)
+	a := make([]int32, 8*Width)
+	for i := range a {
+		a[i] = int32(rng.Intn(100))
+	}
+	b := append([]int32(nil), a...)
+	n1 := SortBlock(a)
+	n2 := SortBlockOf(b)
+	if n1 != n2 {
+		t.Errorf("network counts differ: %d vs %d", n1, n2)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wrapper and generic disagree at %d", i)
+		}
+	}
+}

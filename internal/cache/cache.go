@@ -1,0 +1,241 @@
+// Package cache models the tag arrays of the KNL cache hierarchy: the
+// per-core 32 KB 8-way L1D, the per-tile 1 MB 16-way shared L2, and the
+// direct-mapped MCDRAM memory-side cache used in cache/hybrid memory mode.
+//
+// Only tags and MESIF coherence states are tracked — the simulator never
+// stores data in modeled caches (benchmark payloads that need real values
+// live in the machine's word store).
+package cache
+
+import "fmt"
+
+// Line is a cache-line address: the byte address shifted right by 6.
+type Line uint64
+
+// LineOf returns the line containing byte address addr.
+func LineOf(addr uint64) Line { return Line(addr >> 6) }
+
+// Addr returns the first byte address of the line.
+func (l Line) Addr() uint64 { return uint64(l) << 6 }
+
+// State is a MESIF coherence state.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+	Forward
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case Forward:
+		return "F"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Readable reports whether a cache holding the line in this state can
+// service a read without a coherence transaction.
+func (s State) Readable() bool { return s != Invalid }
+
+// Writable reports whether a store can hit without a coherence transaction.
+func (s State) Writable() bool { return s == Modified || s == Exclusive }
+
+// CanForward reports whether this copy may source a cache-to-cache transfer.
+func (s State) CanForward() bool {
+	return s == Modified || s == Exclusive || s == Forward
+}
+
+// entry is one way of one set.
+type entry struct {
+	line  Line
+	state State
+	lru   uint64 // last-touch tick
+}
+
+// SetAssoc is a set-associative tag array with LRU replacement.
+type SetAssoc struct {
+	name    string
+	sets    int
+	ways    int
+	tick    uint64
+	entries []entry // sets*ways, row-major by set
+
+	hits, misses, evictions uint64
+}
+
+// NewSetAssoc builds a tag array for the given capacity in bytes and
+// associativity; sets = capacity / (64 * ways). Capacity must be a multiple
+// of 64*ways and sets must be a power of two.
+func NewSetAssoc(name string, capacityBytes, ways int) *SetAssoc {
+	if capacityBytes <= 0 || ways <= 0 || capacityBytes%(64*ways) != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %d bytes / %d ways", capacityBytes, ways))
+	}
+	sets := capacityBytes / (64 * ways)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: sets %d not a power of two", sets))
+	}
+	return &SetAssoc{
+		name:    name,
+		sets:    sets,
+		ways:    ways,
+		entries: make([]entry, sets*ways),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *SetAssoc) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+// CapacityBytes returns the modeled capacity.
+func (c *SetAssoc) CapacityBytes() int { return c.sets * c.ways * 64 }
+
+func (c *SetAssoc) setOf(l Line) int { return int(uint64(l) & uint64(c.sets-1)) }
+
+// Lookup returns the state of the line (Invalid if absent) and updates LRU
+// and hit/miss counters on readable hits.
+func (c *SetAssoc) Lookup(l Line) State {
+	set := c.setOf(l)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		e := &c.entries[base+w]
+		if e.state != Invalid && e.line == l {
+			c.tick++
+			e.lru = c.tick
+			c.hits++
+			return e.state
+		}
+	}
+	c.misses++
+	return Invalid
+}
+
+// Peek returns the state of the line without touching LRU or counters.
+func (c *SetAssoc) Peek(l Line) State {
+	set := c.setOf(l)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		e := &c.entries[base+w]
+		if e.state != Invalid && e.line == l {
+			return e.state
+		}
+	}
+	return Invalid
+}
+
+// Victim describes a line displaced by Insert.
+type Victim struct {
+	Line  Line
+	State State
+}
+
+// Insert places the line with the given state, evicting the LRU way if the
+// set is full. It returns the victim (State Invalid if none was displaced).
+// Inserting a line that is already present updates its state in place.
+func (c *SetAssoc) Insert(l Line, s State) Victim {
+	if s == Invalid {
+		panic("cache: Insert with Invalid state")
+	}
+	set := c.setOf(l)
+	base := set * c.ways
+	var free, lru *entry
+	for w := 0; w < c.ways; w++ {
+		e := &c.entries[base+w]
+		if e.state == Invalid {
+			if free == nil {
+				free = e
+			}
+			continue
+		}
+		if e.line == l {
+			e.state = s
+			c.tick++
+			e.lru = c.tick
+			return Victim{State: Invalid}
+		}
+		if lru == nil || e.lru < lru.lru {
+			lru = e
+		}
+	}
+	target := free
+	out := Victim{State: Invalid}
+	if target == nil {
+		target = lru
+		out = Victim{Line: lru.line, State: lru.state}
+		c.evictions++
+	}
+	c.tick++
+	*target = entry{line: l, state: s, lru: c.tick}
+	return out
+}
+
+// SetState changes the state of a present line; it is a no-op for absent
+// lines unless the new state is Invalid, in which case absence is fine.
+// Setting Invalid removes the line.
+func (c *SetAssoc) SetState(l Line, s State) {
+	set := c.setOf(l)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		e := &c.entries[base+w]
+		if e.state != Invalid && e.line == l {
+			if s == Invalid {
+				e.state = Invalid
+			} else {
+				e.state = s
+			}
+			return
+		}
+	}
+}
+
+// Invalidate removes the line and returns its previous state.
+func (c *SetAssoc) Invalidate(l Line) State {
+	set := c.setOf(l)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		e := &c.entries[base+w]
+		if e.state != Invalid && e.line == l {
+			s := e.state
+			e.state = Invalid
+			return s
+		}
+	}
+	return Invalid
+}
+
+// Flush removes every line (states are discarded).
+func (c *SetAssoc) Flush() {
+	for i := range c.entries {
+		c.entries[i].state = Invalid
+	}
+}
+
+// Stats returns cumulative hit/miss/eviction counters.
+func (c *SetAssoc) Stats() (hits, misses, evictions uint64) {
+	return c.hits, c.misses, c.evictions
+}
+
+// Occupancy returns the number of valid lines currently cached.
+func (c *SetAssoc) Occupancy() int {
+	n := 0
+	for i := range c.entries {
+		if c.entries[i].state != Invalid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,200 @@
+package coll
+
+import (
+	"knlcap/internal/core"
+	"knlcap/internal/knl"
+	"knlcap/internal/machine"
+	"knlcap/internal/memmode"
+	"knlcap/internal/tune"
+)
+
+// Allgather completes the collective family: every thread contributes one
+// line and ends up with every other thread's line. The tuned variant uses
+// Bruck-style m-way dissemination (the barrier's communication structure
+// carrying payload: in round r each thread forwards its accumulated block
+// of (m+1)^r lines to m peers), so the capability model's Equation 2
+// machinery predicts its critical path with a bandwidth term added.
+const Allgather Op = 4
+
+// tunedAllgather runs the m-way dissemination with payload accumulation.
+type tunedAllgather struct {
+	g    *group
+	mWay int
+	rds  int
+	// slabs[rank]: n payload lines (slot per contributor) + one flag line
+	// per round at the end.
+	slabs []memmode.Buffer
+	n     int
+	got   []map[int]bool // rank -> set of contributor ranks received
+}
+
+func newTunedAllgather(m *machine.Machine, cfg knl.Config, model *core.Model,
+	g *group, p Params) *tunedAllgather {
+	n := len(g.places)
+	b := tune.Barrier(model, n)
+	ag := &tunedAllgather{g: g, mWay: b.M, rds: b.Rounds, n: n,
+		got: make([]map[int]bool, n)}
+	for r, pl := range g.places {
+		ag.slabs = append(ag.slabs,
+			allocFor(m, cfg, pl, p.BufKind, int64(n+b.Rounds+1)*knl.LineSize))
+		ag.got[r] = map[int]bool{}
+	}
+	return ag
+}
+
+func (ag *tunedAllgather) run(th *machine.Thread, rank, seq int) {
+	n := ag.n
+	// Own contribution occupies slot `rank` of the local slab.
+	th.StoreWord(ag.slabs[rank], rank, uint64(seq))
+	mine := map[int]bool{rank: true}
+	span := 1
+	for r := 0; r < ag.rds; r++ {
+		// Publish round flag: "my slab now holds `span`-worth of blocks".
+		th.StoreWord(ag.slabs[rank], n+r, uint64(seq))
+		for j := 1; j <= ag.mWay; j++ {
+			partner := (rank - j*span + j*span*n) % n
+			if partner == rank {
+				continue
+			}
+			th.WaitWordGE(ag.slabs[partner], n+r, uint64(seq))
+			// Pull the partner's accumulated block: their own contribution
+			// plus what they gathered in earlier rounds.
+			for _, src := range blockOwners(partner, span, ag.mWay, n) {
+				if mine[src] {
+					continue
+				}
+				th.Load(ag.slabs[partner], src)
+				th.Store(ag.slabs[rank], src)
+				mine[src] = true
+			}
+		}
+		span *= ag.mWay + 1
+		if span >= n {
+			break
+		}
+	}
+	ag.got[rank] = mine
+}
+
+// blockOwners lists the contributor ranks held by `owner` after gathering
+// `span` worth of dissemination rounds with fan-out m.
+func blockOwners(owner, span, mWay, n int) []int {
+	out := []int{owner}
+	step := 1
+	for step < span {
+		cur := append([]int(nil), out...)
+		for j := 1; j <= mWay; j++ {
+			for _, o := range cur {
+				out = append(out, ((o-j*step)%n+n)%n)
+			}
+		}
+		step *= mWay + 1
+	}
+	return out
+}
+
+func (ag *tunedAllgather) validate(m *machine.Machine, iters int) bool {
+	for rank := range ag.got {
+		if len(ag.got[rank]) != ag.n {
+			return false
+		}
+	}
+	return true
+}
+
+// ompAllgather is the centralized baseline: every thread deposits its line
+// into one shared slab, waits on a counter, then reads all n slots — n^2
+// contended reads of the same tile's memory.
+type ompAllgather struct {
+	g      *group
+	slab   memmode.Buffer
+	count  memmode.Buffer
+	forkNs float64
+	n      int
+	got    []int
+}
+
+func newOMPAllgather(m *machine.Machine, cfg knl.Config, g *group, p Params) *ompAllgather {
+	n := len(g.places)
+	return &ompAllgather{
+		g:      g,
+		slab:   allocFor(m, cfg, g.places[0], p.BufKind, int64(n)*knl.LineSize),
+		count:  allocFor(m, cfg, g.places[0], p.BufKind, knl.LineSize),
+		forkNs: p.OMPForkNs,
+		n:      n,
+		got:    make([]int, n),
+	}
+}
+
+func (oa *ompAllgather) run(th *machine.Thread, rank, seq int) {
+	th.Compute(oa.forkNs)
+	th.StoreWord(oa.slab, rank, uint64(seq))
+	th.AddWord(oa.count, 0, 1)
+	th.WaitWordGE(oa.count, 0, uint64(seq*oa.n))
+	have := 0
+	for i := 0; i < oa.n; i++ {
+		if th.LoadWord(oa.slab, i) >= uint64(seq) {
+			have++
+		}
+	}
+	oa.got[rank] = have
+}
+
+func (oa *ompAllgather) validate(m *machine.Machine, iters int) bool {
+	for _, h := range oa.got {
+		if h != oa.n {
+			return false
+		}
+	}
+	return true
+}
+
+// mpiAllgather is the baseline: Bruck with m=1, every block exchange an
+// MPI message (overhead + double copy).
+type mpiAllgather struct {
+	g   *group
+	mpi *mpiFabric
+	n   int
+	got []int
+}
+
+func newMPIAllgather(m *machine.Machine, cfg knl.Config, g *group, p Params) *mpiAllgather {
+	return &mpiAllgather{
+		g: g, mpi: newMPIFabric(m, cfg, p, len(g.places)),
+		n: len(g.places), got: make([]int, len(g.places)),
+	}
+}
+
+func (ma *mpiAllgather) run(th *machine.Thread, rank, seq int) {
+	n := ma.n
+	have := 1
+	span := 1
+	for round := 0; span < n; round++ {
+		to := (rank + span) % n
+		from := (rank - span + n) % n
+		// Send the accumulated block (have lines) as one message stream;
+		// the fabric charges per-message overhead plus the copies.
+		blk := have
+		if blk > n-have {
+			blk = n - have
+		}
+		for i := 0; i < blk; i++ {
+			ma.mpi.send(th, rank, to, 2+round, seq, uint64(i))
+		}
+		for i := 0; i < blk; i++ {
+			ma.mpi.recv(th, from, rank, 2+round, seq)
+		}
+		have += blk
+		span *= 2
+	}
+	ma.got[rank] = have
+}
+
+func (ma *mpiAllgather) validate(m *machine.Machine, iters int) bool {
+	for _, h := range ma.got {
+		if h != ma.n {
+			return false
+		}
+	}
+	return true
+}

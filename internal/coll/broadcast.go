@@ -1,0 +1,184 @@
+package coll
+
+import (
+	"knlcap/internal/core"
+	"knlcap/internal/knl"
+	"knlcap/internal/machine"
+	"knlcap/internal/memmode"
+	"knlcap/internal/tune"
+)
+
+// tunedBcast is the model-tuned tree broadcast of Section IV-B.1: an
+// inter-tile tree with the DP-optimal heterogeneous fan-outs, flag and
+// payload sharing one cache line (RI+RL), per-child acknowledgement lines
+// (RI + k*RR) and a flat intra-tile stage.
+type tunedBcast struct {
+	g        *group
+	parent   []int
+	children [][]int
+	childIdx []int // node -> its slot in parent's ack buffer
+
+	payload  []memmode.Buffer // per node: MsgLines lines; line 0 = flag+data
+	acks     []memmode.Buffer // per node: one line per child
+	tileFlag []memmode.Buffer // per node: intra-tile release
+	seen     []uint64         // per rank: last observed value
+	// inject, when nonzero, replaces the payload value of the next
+	// iteration (< 4096; the allreduce hands the reduce result down).
+	inject uint64
+}
+
+func newTunedBcast(m *machine.Machine, cfg knl.Config, model *core.Model,
+	g *group, p Params) *tunedBcast {
+	tt := tune.Broadcast(model, len(g.leaders))
+	ti := indexTree(tt.Tree, len(g.leaders))
+	tb := &tunedBcast{
+		g: g, parent: ti.parent, children: ti.children,
+		childIdx: make([]int, len(g.leaders)),
+		seen:     make([]uint64, len(g.places)),
+	}
+	for node, kids := range ti.children {
+		for i, c := range kids {
+			tb.childIdx[c] = i
+			_ = node
+		}
+	}
+	lines := p.MsgLines
+	if lines < 1 {
+		lines = 1
+	}
+	for node, lr := range g.leaders {
+		pl := g.places[lr]
+		tb.payload = append(tb.payload,
+			allocFor(m, cfg, pl, p.BufKind, int64(lines)*knl.LineSize))
+		ackLines := len(ti.children[node])
+		if ackLines < 1 {
+			ackLines = 1
+		}
+		tb.acks = append(tb.acks,
+			allocFor(m, cfg, pl, p.BufKind, int64(ackLines)*knl.LineSize))
+		tb.tileFlag = append(tb.tileFlag,
+			allocFor(m, cfg, pl, p.BufKind, knl.LineSize))
+	}
+	return tb
+}
+
+// value encodes the broadcast payload word: monotone in seq so pollers can
+// use >= thresholds.
+func bcastValue(seq int) uint64 { return uint64(seq)*4096 + uint64(seq%1000) + 7 }
+
+func (tb *tunedBcast) run(th *machine.Thread, rank, seq int) {
+	node := tb.g.nodeOf[rank]
+	lines := tb.payload[node].NumLines()
+
+	if !tb.g.leader[rank] {
+		// Intra-tile follower: wait for the leader's cheap local flag.
+		v := th.WaitWordGE(tb.tileFlag[node], 0, uint64(seq)*4096)
+		if lines > 1 {
+			th.ReadStreamRange(tb.payload[node], 1, lines-1, true)
+		}
+		tb.seen[rank] = v - uint64(seq)*4096
+		return
+	}
+
+	var val uint64
+	if tb.parent[node] < 0 {
+		val = bcastValue(seq)
+		if tb.inject != 0 {
+			val = uint64(seq)*4096 + tb.inject
+			tb.inject = 0
+		}
+		// Root: write the payload, then flag+data in line 0.
+		for li := 1; li < lines; li++ {
+			th.Store(tb.payload[node], li)
+		}
+		th.StoreWord(tb.payload[node], 0, val)
+	} else {
+		p := tb.parent[node]
+		val = th.WaitWordGE(tb.payload[p], 0, uint64(seq)*4096)
+		// Copy the message into the local shared structure (contended read
+		// of the parent's lines: the TC(k) term).
+		if lines > 1 {
+			th.CopyStreamRange(tb.payload[node], tb.payload[p], 1, 1, lines-1, false)
+		}
+		th.StoreWord(tb.payload[node], 0, val)
+		// Acknowledge to the parent.
+		th.StoreWord(tb.acks[p], tb.childIdx[node], uint64(seq))
+	}
+	tb.seen[rank] = val - uint64(seq)*4096
+
+	// Release the intra-tile followers.
+	if len(tb.g.follows[node]) > 0 {
+		th.StoreWord(tb.tileFlag[node], 0, val)
+	}
+
+	// Collect the children's acknowledgement flags (RI + k*RR).
+	for i := range tb.children[node] {
+		th.WaitWordGE(tb.acks[node], i, uint64(seq))
+	}
+}
+
+func (tb *tunedBcast) validate(m *machine.Machine, iters int) bool {
+	want := bcastValue(iters) - uint64(iters)*4096
+	for _, v := range tb.seen {
+		if v != want {
+			return false
+		}
+	}
+	return true
+}
+
+// ompBcast is the centralized baseline: a single shared flag+payload that
+// all threads poll and read simultaneously — it pays the full contention
+// cost TC(n) every time.
+type ompBcast struct {
+	g       *group
+	payload memmode.Buffer
+	ack     memmode.Buffer
+	seen    []uint64
+	forkNs  float64
+}
+
+func newOMPBcast(m *machine.Machine, cfg knl.Config, g *group, p Params) *ompBcast {
+	lines := p.MsgLines
+	if lines < 1 {
+		lines = 1
+	}
+	return &ompBcast{
+		g:       g,
+		payload: allocFor(m, cfg, g.places[0], p.BufKind, int64(lines)*knl.LineSize),
+		ack:     allocFor(m, cfg, g.places[0], p.BufKind, knl.LineSize),
+		seen:    make([]uint64, len(g.places)),
+		forkNs:  p.OMPForkNs,
+	}
+}
+
+func (ob *ompBcast) run(th *machine.Thread, rank, seq int) {
+	th.Compute(ob.forkNs) // runtime dispatch
+	lines := ob.payload.NumLines()
+	if rank == 0 {
+		for li := 1; li < lines; li++ {
+			th.Store(ob.payload, li)
+		}
+		th.StoreWord(ob.payload, 0, bcastValue(seq))
+		ob.seen[0] = bcastValue(seq) - uint64(seq)*4096
+		// Cumulative arrival counter: one tick per reader per iteration.
+		th.WaitWordGE(ob.ack, 0, uint64(seq)*uint64(len(ob.g.places)-1))
+		return
+	}
+	v := th.WaitWordGE(ob.payload, 0, uint64(seq)*4096)
+	if lines > 1 {
+		th.ReadStreamRange(ob.payload, 1, lines-1, true)
+	}
+	ob.seen[rank] = v - uint64(seq)*4096
+	th.AddWord(ob.ack, 0, 1)
+}
+
+func (ob *ompBcast) validate(m *machine.Machine, iters int) bool {
+	want := bcastValue(iters) - uint64(iters)*4096
+	for _, v := range ob.seen {
+		if v != want {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+package coll
+
+import (
+	"knlcap/internal/bench"
+	"knlcap/internal/core"
+	"knlcap/internal/knl"
+)
+
+// FigurePoint groups the three algorithms at one thread count — one x-axis
+// position of Figures 6, 7 and 8.
+type FigurePoint struct {
+	Threads int
+	Tuned   Result
+	OMP     Result
+	MPI     Result
+}
+
+// SpeedupOMP returns median(OMP)/median(tuned).
+func (p FigurePoint) SpeedupOMP() float64 {
+	return p.OMP.Summary.Med / p.Tuned.Summary.Med
+}
+
+// SpeedupMPI returns median(MPI)/median(tuned).
+func (p FigurePoint) SpeedupMPI() float64 {
+	return p.MPI.Summary.Med / p.Tuned.Summary.Med
+}
+
+// MeasureFigure regenerates one of Figures 6-8: the collective op across
+// thread counts for one schedule, measuring the tuned algorithm and both
+// baselines on identical machines.
+func MeasureFigure(cfg knl.Config, model *core.Model, o bench.Options, op Op,
+	sched knl.Schedule, counts []int) []FigurePoint {
+	if len(counts) == 0 {
+		counts = []int{2, 4, 8, 16, 32, 64}
+	}
+	var out []FigurePoint
+	for _, n := range counts {
+		p := DefaultParams(n, sched)
+		out = append(out, FigurePoint{
+			Threads: n,
+			Tuned:   Measure(cfg, model, o, op, Tuned, p),
+			OMP:     Measure(cfg, model, o, op, OMP, p),
+			MPI:     Measure(cfg, model, o, op, MPI, p),
+		})
+	}
+	return out
+}
+
+// MaxSpeedups reduces a figure series to the headline numbers the paper
+// reports ("up to 7x over OpenMP and 24x over MPI" for the barrier).
+func MaxSpeedups(pts []FigurePoint) (omp, mpi float64) {
+	for _, p := range pts {
+		if s := p.SpeedupOMP(); s > omp {
+			omp = s
+		}
+		if s := p.SpeedupMPI(); s > mpi {
+			mpi = s
+		}
+	}
+	return omp, mpi
+}

@@ -1,0 +1,201 @@
+package coll
+
+import (
+	"testing"
+
+	"knlcap/internal/core"
+	"knlcap/internal/knl"
+)
+
+// TestBroadcastMessageSizes checks payloads beyond one line: larger
+// messages cost more, all algorithms still validate, and the tuned tree
+// keeps its advantage (the copy stages pipeline down the tree).
+func TestBroadcastMessageSizes(t *testing.T) {
+	cfg := knl.DefaultConfig()
+	model := core.Default()
+	o := quick()
+	var prev float64
+	for _, lines := range []int{1, 16, 256} {
+		p := DefaultParams(16, knl.Scatter)
+		p.MsgLines = lines
+		tuned := Measure(cfg, model, o, Bcast, Tuned, p)
+		if !tuned.Validated {
+			t.Fatalf("%d-line broadcast failed validation", lines)
+		}
+		if tuned.Summary.Med <= prev {
+			t.Errorf("%d-line broadcast (%.0f ns) not slower than smaller payload (%.0f ns)",
+				lines, tuned.Summary.Med, prev)
+		}
+		prev = tuned.Summary.Med
+	}
+}
+
+// TestLargeMessageTunedStillWins compares a 16 KB broadcast across
+// algorithms: the MPI baseline pays its double copy on every hop.
+func TestLargeMessageTunedStillWins(t *testing.T) {
+	cfg := knl.DefaultConfig()
+	model := core.Default()
+	o := quick()
+	o.Iterations = 6
+	p := DefaultParams(16, knl.Scatter)
+	p.MsgLines = 256 // 16 KB
+	tuned := Measure(cfg, model, o, Bcast, Tuned, p)
+	mpi := Measure(cfg, model, o, Bcast, MPI, p)
+	if !tuned.Validated || !mpi.Validated {
+		t.Fatal("validation failed")
+	}
+	if tuned.Summary.Med >= mpi.Summary.Med {
+		t.Errorf("tuned 16KB bcast (%.0f) not faster than MPI (%.0f)",
+			tuned.Summary.Med, mpi.Summary.Med)
+	}
+}
+
+// TestCollectivesAcrossModes validates every tuned collective in every
+// cluster mode and in cache memory mode (integration across the mode
+// matrix the paper enumerates).
+func TestCollectivesAcrossModes(t *testing.T) {
+	model := core.Default()
+	o := quick()
+	o.Iterations = 4
+	for _, cm := range knl.ClusterModes {
+		for _, mm := range []knl.MemoryMode{knl.Flat, knl.CacheMode} {
+			cfg := knl.DefaultConfig().WithModes(cm, mm)
+			for _, op := range []Op{Barrier, Bcast, Reduce, Allreduce, Allgather} {
+				res := Measure(cfg, model, o, op, Tuned, DefaultParams(16, knl.Scatter))
+				if !res.Validated {
+					t.Errorf("%s: %v validation failed", cfg.Name(), op)
+				}
+			}
+		}
+	}
+}
+
+// TestAllreduce validates the extension collective across algorithms and
+// checks the fused-cost model prediction brackets the tuned measurement.
+func TestAllreduce(t *testing.T) {
+	cfg := knl.DefaultConfig()
+	model := core.Default()
+	o := quick()
+	for _, alg := range []Algorithm{Tuned, OMP, MPI} {
+		for _, n := range []int{4, 32} {
+			res := Measure(cfg, model, o, Allreduce, alg, DefaultParams(n, knl.Scatter))
+			if !res.Validated {
+				t.Fatalf("allreduce %v n=%d failed validation", alg, n)
+			}
+		}
+	}
+	tuned := Measure(cfg, model, o, Allreduce, Tuned, DefaultParams(32, knl.Scatter))
+	mpi := Measure(cfg, model, o, Allreduce, MPI, DefaultParams(32, knl.Scatter))
+	if tuned.Summary.Med >= mpi.Summary.Med {
+		t.Errorf("tuned allreduce (%.0f) not faster than MPI (%.0f)",
+			tuned.Summary.Med, mpi.Summary.Med)
+	}
+	if tuned.Summary.Med > tuned.ModelHi {
+		t.Errorf("allreduce measured %.0f above fused worst-case model %.0f",
+			tuned.Summary.Med, tuned.ModelHi)
+	}
+	// The fused prediction composes the two tuned trees.
+	if p := PredictAllreduce(model, 32); p <= 0 {
+		t.Errorf("fused prediction = %v", p)
+	}
+}
+
+// TestAllreduceCostBetweenParts checks allreduce costs at least as much as
+// either constituent collective.
+func TestAllreduceCostBetweenParts(t *testing.T) {
+	cfg := knl.DefaultConfig()
+	model := core.Default()
+	o := quick()
+	p := DefaultParams(32, knl.Scatter)
+	ar := Measure(cfg, model, o, Allreduce, Tuned, p)
+	rd := Measure(cfg, model, o, Reduce, Tuned, p)
+	bc := Measure(cfg, model, o, Bcast, Tuned, p)
+	if ar.Summary.Med < rd.Summary.Med || ar.Summary.Med < bc.Summary.Med {
+		t.Errorf("allreduce (%.0f) cheaper than reduce (%.0f) or bcast (%.0f)",
+			ar.Summary.Med, rd.Summary.Med, bc.Summary.Med)
+	}
+}
+
+// TestAllgather validates the Bruck-style allgather across algorithms and
+// sizes, including non-power-of-two thread counts.
+func TestAllgather(t *testing.T) {
+	cfg := knl.DefaultConfig()
+	model := core.Default()
+	o := quick()
+	for _, alg := range []Algorithm{Tuned, OMP, MPI} {
+		for _, n := range []int{2, 5, 16, 32} {
+			res := Measure(cfg, model, o, Allgather, alg, DefaultParams(n, knl.Scatter))
+			if !res.Validated {
+				t.Fatalf("allgather %v n=%d failed validation", alg, n)
+			}
+		}
+	}
+	tuned := Measure(cfg, model, o, Allgather, Tuned, DefaultParams(32, knl.Scatter))
+	omp := Measure(cfg, model, o, Allgather, OMP, DefaultParams(32, knl.Scatter))
+	mpi := Measure(cfg, model, o, Allgather, MPI, DefaultParams(32, knl.Scatter))
+	if tuned.Summary.Med >= mpi.Summary.Med {
+		t.Errorf("tuned allgather (%.0f) not faster than MPI (%.0f)",
+			tuned.Summary.Med, mpi.Summary.Med)
+	}
+	if tuned.Summary.Med >= omp.Summary.Med*1.5 {
+		t.Errorf("tuned allgather (%.0f) should not be far above OMP (%.0f)",
+			tuned.Summary.Med, omp.Summary.Med)
+	}
+	if tuned.ModelLo <= 0 || tuned.Summary.Med > tuned.ModelHi*1.5 {
+		t.Errorf("allgather envelope [%v,%v] vs measured %v implausible",
+			tuned.ModelLo, tuned.ModelHi, tuned.Summary.Med)
+	}
+}
+
+// TestBlockOwnersCoverage checks the dissemination algebra: after all
+// rounds, the accumulated block covers every rank exactly.
+func TestBlockOwnersCoverage(t *testing.T) {
+	for _, n := range []int{2, 5, 8, 17, 32, 64} {
+		for _, m := range []int{1, 2, 3} {
+			span := 1
+			for span < n {
+				span *= m + 1
+			}
+			owners := blockOwners(0, span, m, n)
+			seen := map[int]bool{}
+			for _, o := range owners {
+				seen[o] = true
+			}
+			if len(seen) != n {
+				t.Errorf("n=%d m=%d: coverage %d/%d", n, m, len(seen), n)
+			}
+		}
+	}
+}
+
+// TestScan validates the prefix-sum collective: exact per-rank prefixes in
+// all three implementations, logarithmic tuned critical path vs the
+// baseline's linear chain.
+func TestScan(t *testing.T) {
+	cfg := knl.DefaultConfig()
+	model := core.Default()
+	o := quick()
+	for _, alg := range []Algorithm{Tuned, OMP, MPI} {
+		for _, n := range []int{2, 7, 32} {
+			res := Measure(cfg, model, o, Scan, alg, DefaultParams(n, knl.Scatter))
+			if !res.Validated {
+				t.Fatalf("scan %v n=%d failed validation", alg, n)
+			}
+		}
+	}
+	tuned := Measure(cfg, model, o, Scan, Tuned, DefaultParams(64, knl.Scatter))
+	omp := Measure(cfg, model, o, Scan, OMP, DefaultParams(64, knl.Scatter))
+	mpi := Measure(cfg, model, o, Scan, MPI, DefaultParams(64, knl.Scatter))
+	if tuned.Summary.Med >= omp.Summary.Med {
+		t.Errorf("log-depth scan (%.0f) not faster than the linear chain (%.0f)",
+			tuned.Summary.Med, omp.Summary.Med)
+	}
+	if tuned.Summary.Med >= mpi.Summary.Med {
+		t.Errorf("tuned scan (%.0f) not faster than MPI (%.0f)",
+			tuned.Summary.Med, mpi.Summary.Med)
+	}
+	if tuned.Summary.Med > tuned.ModelHi || tuned.ModelLo > tuned.Summary.Med*2.5 {
+		t.Errorf("scan envelope [%v,%v] vs measured %v implausible",
+			tuned.ModelLo, tuned.ModelHi, tuned.Summary.Med)
+	}
+}

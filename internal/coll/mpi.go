@@ -1,0 +1,190 @@
+package coll
+
+import (
+	"knlcap/internal/knl"
+	"knlcap/internal/machine"
+	"knlcap/internal/memmode"
+)
+
+// mpiFabric models intra-node MPI communication between separate address
+// spaces: every message crosses a shared bounce segment (copy-in by the
+// sender, copy-out by the receiver) and pays a software-stack overhead on
+// both sides. The paper notes this double-copy disadvantage "is not
+// fundamental" (address spaces could be mapped), which is exactly what the
+// tuned algorithms exploit by sharing structures directly.
+type mpiFabric struct {
+	m        *machine.Machine
+	cfg      knl.Config
+	p        Params
+	n        int
+	msgLines int
+	// bounce[(from*n+to)*rounds'..] buffers, allocated lazily per edge+tag.
+	bounce map[int]memmode.Buffer
+}
+
+func newMPIFabric(m *machine.Machine, cfg knl.Config, p Params, n int) *mpiFabric {
+	lines := p.MsgLines
+	if lines < 1 {
+		lines = 1
+	}
+	return &mpiFabric{
+		m: m, cfg: cfg, p: p, n: n,
+		msgLines: lines,
+		bounce:   map[int]memmode.Buffer{},
+	}
+}
+
+// buf returns the bounce buffer of a directed edge and tag slot.
+func (f *mpiFabric) buf(from, to, tag int) memmode.Buffer {
+	key := (from*f.n+to)*16 + tag%16
+	b, ok := f.bounce[key]
+	if !ok {
+		// Shared segments conventionally live near the receiver.
+		b = allocFor(f.m, f.cfg, f.placeOf(to), knl.DDR,
+			int64(f.msgLines)*knl.LineSize)
+		f.bounce[key] = b
+	}
+	return b
+}
+
+func (f *mpiFabric) placeOf(rank int) knl.Place {
+	return knl.Place{Tile: rank % knl.ActiveTiles, Core: (rank % knl.ActiveTiles) * 2}
+}
+
+// send copies the payload into the bounce segment and publishes the flag
+// word (value seq*4096 + payload word).
+func (f *mpiFabric) send(th *machine.Thread, from, to, tag, seq int, value uint64) {
+	th.Compute(f.p.MPIOverheadNs)
+	b := f.buf(from, to, tag)
+	for li := 1; li < f.msgLines; li++ {
+		th.Store(b, li)
+	}
+	th.StoreWord(b, 0, uint64(seq)*4096+value)
+}
+
+// recv waits for the message and copies it out, returning the payload word.
+func (f *mpiFabric) recv(th *machine.Thread, from, to, tag, seq int) uint64 {
+	th.Compute(f.p.MPIOverheadNs)
+	b := f.buf(from, to, tag)
+	got := th.WaitWordGE(b, 0, uint64(seq)*4096)
+	for li := 1; li < f.msgLines; li++ {
+		th.Load(b, li)
+		th.Store(f.recvScratch(to), li)
+	}
+	return got - uint64(seq)*4096
+}
+
+// recvScratch is the receiver's private landing buffer (the copy-out half
+// of the double copy).
+func (f *mpiFabric) recvScratch(rank int) memmode.Buffer {
+	key := -1 - rank
+	b, ok := f.bounce[key]
+	if !ok {
+		b = allocFor(f.m, f.cfg, f.placeOf(rank), knl.DDR,
+			int64(f.msgLines)*knl.LineSize)
+		f.bounce[key] = b
+	}
+	return b
+}
+
+// binomialEdges computes, for every rank, its parent and children in a
+// binomial tree rooted at 0 (the standard MPI broadcast/reduce topology).
+func binomialEdges(n int) (parent []int, children [][]int) {
+	parent = make([]int, n)
+	children = make([][]int, n)
+	parent[0] = -1
+	for r := 1; r < n; r++ {
+		// Parent: clear the lowest set bit.
+		p := r & (r - 1)
+		parent[r] = p
+		children[p] = append(children[p], r)
+	}
+	// MPI sends high-order children first (largest subtrees).
+	for p := range children {
+		for i, j := 0, len(children[p])-1; i < j; i, j = i+1, j-1 {
+			children[p][i], children[p][j] = children[p][j], children[p][i]
+		}
+	}
+	return parent, children
+}
+
+// mpiBcast broadcasts down a binomial tree over all threads.
+type mpiBcast struct {
+	g        *group
+	mpi      *mpiFabric
+	parent   []int
+	children [][]int
+	seen     []uint64
+	// inject, when nonzero, replaces the next root payload (< 4096).
+	inject uint64
+}
+
+func newMPIBcast(m *machine.Machine, cfg knl.Config, g *group, p Params) *mpiBcast {
+	pa, ch := binomialEdges(len(g.places))
+	return &mpiBcast{
+		g: g, mpi: newMPIFabric(m, cfg, p, len(g.places)),
+		parent: pa, children: ch, seen: make([]uint64, len(g.places)),
+	}
+}
+
+func (b *mpiBcast) run(th *machine.Thread, rank, seq int) {
+	var val uint64
+	if rank == 0 {
+		val = uint64(seq%1000) + 7
+		if b.inject != 0 {
+			val = b.inject
+			b.inject = 0
+		}
+	} else {
+		val = b.mpi.recv(th, b.parent[rank], rank, 0, seq)
+	}
+	b.seen[rank] = val
+	for _, c := range b.children[rank] {
+		b.mpi.send(th, rank, c, 0, seq, val)
+	}
+}
+
+func (b *mpiBcast) validate(m *machine.Machine, iters int) bool {
+	want := uint64(iters%1000) + 7
+	for _, v := range b.seen {
+		if v != want {
+			return false
+		}
+	}
+	return true
+}
+
+// mpiReduce reduces up a binomial tree over all threads.
+type mpiReduce struct {
+	g        *group
+	mpi      *mpiFabric
+	parent   []int
+	children [][]int
+	rootSum  uint64
+}
+
+func newMPIReduce(m *machine.Machine, cfg knl.Config, g *group, p Params) *mpiReduce {
+	pa, ch := binomialEdges(len(g.places))
+	return &mpiReduce{
+		g: g, mpi: newMPIFabric(m, cfg, p, len(g.places)),
+		parent: pa, children: ch,
+	}
+}
+
+func (rd *mpiReduce) run(th *machine.Thread, rank, seq int) {
+	sum := uint64(rank + 1) // this rank's contribution
+	// Receive children in reverse send order (largest subtree last).
+	for _, c := range rd.children[rank] {
+		sum += rd.mpi.recv(th, c, rank, 1, seq)
+	}
+	if rank == 0 {
+		rd.rootSum = sum
+		return
+	}
+	rd.mpi.send(th, rank, rd.parent[rank], 1, seq, sum)
+}
+
+func (rd *mpiReduce) validate(m *machine.Machine, iters int) bool {
+	n := uint64(len(rd.g.places))
+	return rd.rootSum == n*(n+1)/2
+}

@@ -1,0 +1,155 @@
+package coll
+
+import (
+	"knlcap/internal/core"
+	"knlcap/internal/knl"
+	"knlcap/internal/machine"
+	"knlcap/internal/memmode"
+)
+
+// Scan (inclusive prefix sum) rounds out the collective family: thread i
+// obtains the sum of contributions from threads 0..i. The tuned variant is
+// Hillis-Steele over shared lines: in round r, thread i pulls the partial
+// of thread i-2^r; log2(n) rounds, each one remote read per thread — the
+// capability model predicts r*(RI + RR) like a 1-way dissemination.
+const Scan Op = 5
+
+// tunedScan publishes per-round partials in per-thread slabs.
+type tunedScan struct {
+	g *group
+	// slabs[rank]: one line per round holding (seq, partial).
+	slabs  []memmode.Buffer
+	rounds int
+	n      int
+	result []uint64
+}
+
+func scanRounds(n int) int {
+	r := 0
+	for span := 1; span < n; span *= 2 {
+		r++
+	}
+	return r
+}
+
+func newTunedScan(m *machine.Machine, cfg knl.Config, model *core.Model,
+	g *group, p Params) *tunedScan {
+	n := len(g.places)
+	ts := &tunedScan{g: g, rounds: scanRounds(n), n: n,
+		result: make([]uint64, n)}
+	for _, pl := range g.places {
+		ts.slabs = append(ts.slabs,
+			allocFor(m, cfg, pl, p.BufKind, int64(ts.rounds+1)*knl.LineSize))
+	}
+	return ts
+}
+
+func (ts *tunedScan) run(th *machine.Thread, rank, seq int) {
+	partial := uint64(rank + 1)
+	th.StoreWord(ts.slabs[rank], 0, encodeReduce(seq, partial))
+	span := 1
+	for r := 0; r < ts.rounds; r++ {
+		if rank-span >= 0 {
+			v := th.WaitWordGE(ts.slabs[rank-span], r, uint64(seq)*65536)
+			partial += v - uint64(seq)*65536
+		}
+		th.StoreWord(ts.slabs[rank], r+1, encodeReduce(seq, partial))
+		span *= 2
+	}
+	ts.result[rank] = partial
+}
+
+func (ts *tunedScan) validate(m *machine.Machine, iters int) bool {
+	for rank, got := range ts.result {
+		want := uint64(rank+1) * uint64(rank+2) / 2 // 1+2+...+(rank+1)
+		if got != want {
+			return false
+		}
+	}
+	return true
+}
+
+// ompScan is the centralized baseline: serialized handoff — thread i waits
+// for thread i-1's prefix, adds, publishes. O(n) critical path.
+type ompScan struct {
+	g      *group
+	chain  memmode.Buffer // one line per rank
+	forkNs float64
+	n      int
+	result []uint64
+}
+
+func newOMPScan(m *machine.Machine, cfg knl.Config, g *group, p Params) *ompScan {
+	n := len(g.places)
+	return &ompScan{
+		g:      g,
+		chain:  allocFor(m, cfg, g.places[0], p.BufKind, int64(n)*knl.LineSize),
+		forkNs: p.OMPForkNs,
+		n:      n,
+		result: make([]uint64, n),
+	}
+}
+
+func (os *ompScan) run(th *machine.Thread, rank, seq int) {
+	th.Compute(os.forkNs)
+	prefix := uint64(0)
+	if rank > 0 {
+		v := th.WaitWordGE(os.chain, rank-1, uint64(seq)*65536)
+		prefix = v - uint64(seq)*65536
+	}
+	prefix += uint64(rank + 1)
+	th.StoreWord(os.chain, rank, encodeReduce(seq, prefix))
+	os.result[rank] = prefix
+}
+
+func (os *ompScan) validate(m *machine.Machine, iters int) bool {
+	for rank, got := range os.result {
+		if got != uint64(rank+1)*uint64(rank+2)/2 {
+			return false
+		}
+	}
+	return true
+}
+
+// mpiScan is Hillis-Steele with messages.
+type mpiScan struct {
+	g      *group
+	mpi    *mpiFabric
+	n      int
+	result []uint64
+}
+
+func newMPIScan(m *machine.Machine, cfg knl.Config, g *group, p Params) *mpiScan {
+	return &mpiScan{g: g, mpi: newMPIFabric(m, cfg, p, len(g.places)),
+		n: len(g.places), result: make([]uint64, len(g.places))}
+}
+
+func (ms *mpiScan) run(th *machine.Thread, rank, seq int) {
+	partial := uint64(rank + 1)
+	span := 1
+	for r := 0; span < ms.n; r++ {
+		if rank+span < ms.n {
+			ms.mpi.send(th, rank, rank+span, 8+r, seq, partial%4096)
+		}
+		if rank-span >= 0 {
+			partial += ms.mpi.recv(th, rank-span, rank, 8+r, seq)
+		}
+		span *= 2
+	}
+	ms.result[rank] = partial
+}
+
+func (ms *mpiScan) validate(m *machine.Machine, iters int) bool {
+	for rank, got := range ms.result {
+		if got != uint64(rank+1)*uint64(rank+2)/2 {
+			return false
+		}
+	}
+	return true
+}
+
+// ScanModelCost is the capability-model prediction for the tuned scan:
+// log2(n) rounds of one flag publication plus one remote partial read.
+func ScanModelCost(m *core.Model, n int) float64 {
+	return float64(scanRounds(n)) * (m.RI + m.RR)
+}

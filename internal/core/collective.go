@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tree is a rooted communication tree over tile-level nodes; Kids are the
+// immediate descendants (the paper's k_i fan-outs).
+type Tree struct {
+	Kids []*Tree
+}
+
+// Leaf reports whether the node has no descendants.
+func (t *Tree) Leaf() bool { return len(t.Kids) == 0 }
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int {
+	n := 1
+	for _, k := range t.Kids {
+		n += k.Size()
+	}
+	return n
+}
+
+// Depth returns the number of levels (a single node has depth 1).
+func (t *Tree) Depth() int {
+	d := 0
+	for _, k := range t.Kids {
+		if kd := k.Depth(); kd > d {
+			d = kd
+		}
+	}
+	return d + 1
+}
+
+// Fanouts returns the per-level fan-out profile: level i's entry lists the
+// distinct fan-outs appearing at that level (the shape Figure 1 shows).
+func (t *Tree) Fanouts() [][]int {
+	var levels [][]int
+	var walk func(n *Tree, lvl int)
+	walk = func(n *Tree, lvl int) {
+		if n.Leaf() {
+			return
+		}
+		for len(levels) <= lvl {
+			levels = append(levels, nil)
+		}
+		levels[lvl] = append(levels[lvl], len(n.Kids))
+		for _, k := range n.Kids {
+			walk(k, lvl+1)
+		}
+	}
+	walk(t, 0)
+	return levels
+}
+
+// String renders the tree shape compactly, e.g. "(k=3: (k=2: . .) . .)".
+func (t *Tree) String() string {
+	if t.Leaf() {
+		return "."
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "(k=%d:", len(t.Kids))
+	for _, k := range t.Kids {
+		b.WriteByte(' ')
+		b.WriteString(k.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// TLev is the per-level cost of transmitting to k immediate descendants
+// (Equation 1):
+//
+//	Tlev(k) = RI + RL + TC(k) + RI + k*RR
+//
+// The parent writes the payload and flag (RI+RL), the k children read it
+// under contention (TC(k)), and the parent collects the k acknowledgement
+// flags (RI + k*RR).
+func (m *Model) TLev(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return m.RI + m.RL + m.TC(k) + m.RI + float64(k)*m.RR
+}
+
+// TLevReduce is the reduce variant: the parent additionally reads and
+// combines each child's contribution.
+func (m *Model) TLevReduce(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return m.TLev(k) + float64(k)*(m.ReduceOpNs+m.RL)
+}
+
+// BroadcastCost evaluates Equation 1 over a concrete tree:
+//
+//	Tbc(tree) = Tlev(k0) + max_i Tbc(subtree_i),  Tbc(leaf) = 0.
+func (m *Model) BroadcastCost(t *Tree) float64 {
+	if t.Leaf() {
+		return 0
+	}
+	worst := 0.0
+	for _, k := range t.Kids {
+		if c := m.BroadcastCost(k); c > worst {
+			worst = c
+		}
+	}
+	return m.TLev(len(t.Kids)) + worst
+}
+
+// ReduceCost evaluates the reduce variant of Equation 1 over a tree.
+func (m *Model) ReduceCost(t *Tree) float64 {
+	if t.Leaf() {
+		return 0
+	}
+	worst := 0.0
+	for _, k := range t.Kids {
+		if c := m.ReduceCost(k); c > worst {
+			worst = c
+		}
+	}
+	return m.TLevReduce(len(t.Kids)) + worst
+}
+
+// DisseminationRounds returns the number of rounds of an m-way
+// dissemination barrier over n threads: ceil(log_{m+1} n).
+func DisseminationRounds(n, mWay int) int {
+	if n <= 1 {
+		return 0
+	}
+	r := 0
+	span := 1
+	for span < n {
+		span *= mWay + 1
+		r++
+	}
+	return r
+}
+
+// BarrierCost evaluates Equation 2: T_diss(r, m) = r * (RI + m*RR) with
+// r = ceil(log_{m+1} n).
+func (m *Model) BarrierCost(n, mWay int) float64 {
+	r := DisseminationRounds(n, mWay)
+	return float64(r) * (m.RI + float64(mWay)*m.RR)
+}
+
+// Envelope is the min-max model of Section IV-B: Best assumes polling
+// behaves ideally; Worst scales the polling-sensitive capabilities by
+// WorstPollFactor and uses the far end of the remote band.
+type Envelope struct {
+	Best, Worst *Model
+}
+
+// MinMax derives the envelope from the fitted model.
+func (m *Model) MinMax() Envelope {
+	best := *m
+	best.RR = m.RRMin
+	worst := *m
+	worst.RR = m.RRMax * m.WorstPollFactor
+	worst.CBeta = m.CBeta * m.WorstPollFactor
+	return Envelope{Best: &best, Worst: &worst}
+}
+
+// BroadcastEnvelope returns the [best, worst] band for a tree broadcast.
+func (e Envelope) BroadcastEnvelope(t *Tree) (lo, hi float64) {
+	return e.Best.BroadcastCost(t), e.Worst.BroadcastCost(t)
+}
+
+// ReduceEnvelope returns the [best, worst] band for a tree reduce.
+func (e Envelope) ReduceEnvelope(t *Tree) (lo, hi float64) {
+	return e.Best.ReduceCost(t), e.Worst.ReduceCost(t)
+}
+
+// BarrierEnvelope returns the [best, worst] band for an m-way
+// dissemination barrier over n threads.
+func (e Envelope) BarrierEnvelope(n, mWay int) (lo, hi float64) {
+	return e.Best.BarrierCost(n, mWay), e.Worst.BarrierCost(n, mWay)
+}
+
+// FlatTree builds the contention-heavy baseline: the root feeds all n-1
+// others directly.
+func FlatTree(n int) *Tree {
+	t := &Tree{}
+	for i := 1; i < n; i++ {
+		t.Kids = append(t.Kids, &Tree{})
+	}
+	return t
+}
+
+// BinomialTree builds the classic MPI-style binomial tree over n nodes.
+func BinomialTree(n int) *Tree {
+	if n <= 0 {
+		return nil
+	}
+	// Node 0 is the root; in round i it sends to node 2^i, which then owns
+	// the subtree of nodes [2^i, min(2^{i+1}, n)).
+	var build func(lo, hi int) *Tree
+	build = func(lo, hi int) *Tree {
+		t := &Tree{}
+		span := 1
+		for lo+span < hi {
+			span *= 2
+		}
+		for span >= 1 {
+			childLo := lo + span
+			if childLo < hi {
+				childHi := lo + span*2
+				if childHi > hi {
+					childHi = hi
+				}
+				t.Kids = append(t.Kids, build(childLo, childHi))
+			}
+			span /= 2
+		}
+		return t
+	}
+	return build(0, n)
+}
+
+// KAryTree builds a uniform k-ary tree over n nodes (breadth-first fill).
+func KAryTree(n, k int) *Tree {
+	if n <= 0 {
+		return nil
+	}
+	nodes := make([]*Tree, n)
+	for i := range nodes {
+		nodes[i] = &Tree{}
+	}
+	next := 1
+	for i := 0; next < n; i++ {
+		for c := 0; c < k && next < n; c++ {
+			nodes[i].Kids = append(nodes[i].Kids, nodes[next])
+			next++
+		}
+	}
+	return nodes[0]
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"knlcap/internal/bench"
+	"knlcap/internal/knl"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	m := Default()
+	m.RL = 50 // faster to read remote than local? no: slower than tile
+	if m.Validate() == nil {
+		t.Error("cache-level ordering violation accepted")
+	}
+	m = Default()
+	m.CBeta = -1
+	if m.Validate() == nil {
+		t.Error("negative contention slope accepted")
+	}
+	m = Default()
+	m.BWCurve[knl.DDR] = []BWPoint{{4, 10}, {2, 20}}
+	if m.Validate() == nil {
+		t.Error("non-monotone bandwidth curve accepted")
+	}
+}
+
+func TestTCLinear(t *testing.T) {
+	m := Default()
+	if got := m.TC(0); got != 0 {
+		t.Errorf("TC(0) = %v, want 0", got)
+	}
+	if got := m.TC(10); got != 200+34*10 {
+		t.Errorf("TC(10) = %v, want 540", got)
+	}
+}
+
+func TestAchievableBWInterpolation(t *testing.T) {
+	m := Default()
+	// Exact points.
+	if got := m.AchievableBW(knl.DDR, 16); got != 70 {
+		t.Errorf("DDR@16 = %v, want 70", got)
+	}
+	// Interpolated point between 16 (95) and 32 (180) for MCDRAM.
+	got := m.AchievableBW(knl.MCDRAM, 24)
+	if got <= 95 || got >= 180 {
+		t.Errorf("MCDRAM@24 = %v, want between 95 and 180", got)
+	}
+	// Beyond the last point: clamped.
+	if got := m.AchievableBW(knl.MCDRAM, 512); got != 371 {
+		t.Errorf("MCDRAM@512 = %v, want 371", got)
+	}
+	// Below the first point scales down.
+	if got := m.AchievableBW(knl.DDR, 1); got != 6 {
+		t.Errorf("DDR@1 = %v, want 6", got)
+	}
+	if got := m.AchievableBW(knl.MemKind(42), 8); got != 0 {
+		t.Errorf("unknown kind = %v, want 0", got)
+	}
+}
+
+func TestTLevEquation1(t *testing.T) {
+	m := Default()
+	// Tlev(k) = RI + RL + TC(k) + RI + k*RR
+	want := 140 + 3.8 + (200 + 34*3) + 140 + 3*110.0
+	if got := m.TLev(3); math.Abs(got-want) > 1e-9 {
+		t.Errorf("TLev(3) = %v, want %v", got, want)
+	}
+	if m.TLev(0) != 0 {
+		t.Error("TLev(0) should be 0")
+	}
+	if m.TLevReduce(3) <= m.TLev(3) {
+		t.Error("reduce level must cost more than broadcast level")
+	}
+}
+
+func TestBroadcastCostComposition(t *testing.T) {
+	m := Default()
+	leaf := &Tree{}
+	if m.BroadcastCost(leaf) != 0 {
+		t.Error("leaf cost must be 0")
+	}
+	// Two-level: root with 2 kids, one kid has 1 kid.
+	tr := &Tree{Kids: []*Tree{{Kids: []*Tree{{}}}, {}}}
+	want := m.TLev(2) + m.TLev(1)
+	if got := m.BroadcastCost(tr); math.Abs(got-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+}
+
+func TestTreeHelpers(t *testing.T) {
+	tr := KAryTree(7, 2)
+	if tr.Size() != 7 {
+		t.Errorf("size = %d, want 7", tr.Size())
+	}
+	if tr.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", tr.Depth())
+	}
+	flat := FlatTree(10)
+	if flat.Size() != 10 || len(flat.Kids) != 9 {
+		t.Errorf("flat tree wrong: size %d, kids %d", flat.Size(), len(flat.Kids))
+	}
+	if s := (&Tree{}).String(); s != "." {
+		t.Errorf("leaf String = %q", s)
+	}
+	if s := KAryTree(3, 2).String(); s != "(k=2: . .)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestBinomialTreeSizes(t *testing.T) {
+	f := func(raw uint8) bool {
+		n := 1 + int(raw)%100
+		tr := BinomialTree(n)
+		return tr.Size() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Power of two: root fanout = log2(n).
+	tr := BinomialTree(16)
+	if len(tr.Kids) != 4 {
+		t.Errorf("binomial(16) root fanout = %d, want 4", len(tr.Kids))
+	}
+}
+
+func TestKAryTreeSizes(t *testing.T) {
+	f := func(rawN, rawK uint8) bool {
+		n := 1 + int(rawN)%100
+		k := 1 + int(rawK)%8
+		return KAryTree(n, k).Size() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisseminationRounds(t *testing.T) {
+	cases := []struct{ n, m, want int }{
+		{1, 1, 0}, {2, 1, 1}, {64, 1, 6}, {64, 3, 3}, {64, 7, 2}, {64, 63, 1},
+		{65, 7, 3},
+	}
+	for _, c := range cases {
+		if got := DisseminationRounds(c.n, c.m); got != c.want {
+			t.Errorf("rounds(n=%d, m=%d) = %d, want %d", c.n, c.m, got, c.want)
+		}
+	}
+}
+
+func TestBarrierCostEquation2(t *testing.T) {
+	m := Default()
+	// n=64, m=3: r=3, cost = 3*(RI + 3*RR).
+	want := 3 * (140 + 3*110.0)
+	if got := m.BarrierCost(64, 3); math.Abs(got-want) > 1e-9 {
+		t.Errorf("BarrierCost(64,3) = %v, want %v", got, want)
+	}
+}
+
+func TestMinMaxEnvelopeOrdering(t *testing.T) {
+	m := Default()
+	env := m.MinMax()
+	tr := KAryTree(32, 3)
+	lo, hi := env.BroadcastEnvelope(tr)
+	mid := m.BroadcastCost(tr)
+	if !(lo <= mid && mid <= hi) {
+		t.Errorf("envelope [%v, %v] does not bracket model %v", lo, hi, mid)
+	}
+	blo, bhi := env.BarrierEnvelope(64, 3)
+	if blo >= bhi {
+		t.Errorf("barrier envelope inverted: [%v, %v]", blo, bhi)
+	}
+	rlo, rhi := env.ReduceEnvelope(tr)
+	if rlo >= rhi {
+		t.Errorf("reduce envelope inverted: [%v, %v]", rlo, rhi)
+	}
+}
+
+func TestFromMeasurements(t *testing.T) {
+	t1 := bench.TableI{
+		Latency: bench.CacheLatencies{
+			Config:  knl.DefaultConfig(),
+			LocalL1: 4, TileM: 35, TileE: 19, TileSF: 15,
+			RemoteM: bench.Range{Lo: 100, Hi: 125},
+			RemoteE: bench.Range{Lo: 95, Hi: 115},
+		},
+		Bandwidth:  bench.CacheBandwidths{Read: 2.4, CopyTileM: 6.5, CopyTileE: 9.0, CopyRemote: 7.2},
+		Contention: bench.ContentionResult{Alpha: 190, Beta: 33},
+	}
+	t2 := bench.TableII{
+		Config:  knl.DefaultConfig(),
+		Latency: bench.MemLatencies{DRAM: bench.Range{Lo: 130, Hi: 140}, MCDRAM: bench.Range{Lo: 160, Hi: 170}},
+	}
+	sweep := []bench.MemBWPoint{
+		{Kind: knl.DDR, Threads: 16, GBs: 70},
+		{Kind: knl.DDR, Threads: 4, GBs: 20},
+		{Kind: knl.MCDRAM, Threads: 64, GBs: 300},
+		{Kind: knl.MCDRAM, Threads: 16, GBs: 90},
+	}
+	m := FromMeasurements(t1, t2, sweep)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fitted model invalid: %v", err)
+	}
+	if m.RL != 4 || m.CBeta != 33 {
+		t.Errorf("fit lost parameters: RL=%v beta=%v", m.RL, m.CBeta)
+	}
+	if m.RI != 135 || m.RIMCDRAM != 165 {
+		t.Errorf("memory latencies: RI=%v RIMCDRAM=%v", m.RI, m.RIMCDRAM)
+	}
+	// Curve replaced and sorted.
+	if got := m.AchievableBW(knl.DDR, 16); got != 70 {
+		t.Errorf("fitted curve DDR@16 = %v, want 70", got)
+	}
+	if got := m.AchievableBW(knl.DDR, 10); got <= 20 || got >= 70 {
+		t.Errorf("fitted curve DDR@10 = %v, want interpolated", got)
+	}
+}
+
+func TestSortCostRegimes(t *testing.T) {
+	m := Default()
+	mk := func(lines, threads int, kind knl.MemKind) SortParams {
+		return DefaultSortParams(m, lines, threads, kind)
+	}
+	// Larger inputs cost more.
+	small := m.SortCost(mk(1<<10, 16, knl.DDR), true)
+	large := m.SortCost(mk(1<<16, 16, knl.DDR), true)
+	if large <= small {
+		t.Errorf("large sort (%v) not slower than small (%v)", large, small)
+	}
+	// Latency variant is the worst case: never below the bandwidth variant
+	// for memory-bound sizes.
+	p := mk(1<<16, 16, knl.DDR)
+	bw, lat := m.SortEnvelope(p)
+	if bw > lat {
+		t.Errorf("bandwidth model (%v) above latency model (%v)", bw, lat)
+	}
+}
+
+func TestSortMCDRAMDoesNotHelp(t *testing.T) {
+	// The paper's headline sorting result: despite 5x bandwidth, MCDRAM
+	// gives no significant benefit for the merge sort, because most merge
+	// stages run with few active threads where both memories are
+	// latency-bound.
+	m := Default()
+	lines := (1 << 30) / knl.LineSize // 1 GB
+	pD := DefaultSortParams(m, lines, 256, knl.DDR)
+	pM := DefaultSortParams(m, lines, 256, knl.MCDRAM)
+	d := m.SortCost(pD, true)
+	mc := m.SortCost(pM, true)
+	ratio := d / mc
+	if ratio > 1.35 || ratio < 0.75 {
+		t.Errorf("MCDRAM speedup for sort = %.2fx, paper predicts ~1x (negligible)", ratio)
+	}
+	// Contrast: a pure triad-like stream at 256 threads WOULD benefit ~5x.
+	if m.AchievableBW(knl.MCDRAM, 256) < 4*m.AchievableBW(knl.DDR, 256) {
+		t.Error("MCDRAM should beat DDR ~5x for saturated streams")
+	}
+}
+
+func TestOverheadModel(t *testing.T) {
+	o := OverheadModel{Alpha: 1000, Beta: 500}
+	if got := o.Overhead(8); got != 5000 {
+		t.Errorf("overhead(8) = %v, want 5000", got)
+	}
+	neg := OverheadModel{Alpha: -10, Beta: 0}
+	if neg.Overhead(1) != 0 {
+		t.Error("negative overhead must clamp to 0")
+	}
+	m := Default()
+	p := DefaultSortParams(m, 16, 64, knl.DDR) // 1 KB
+	if !m.EfficiencyCutoff(p, OverheadModel{Alpha: 1e9}) {
+		t.Error("huge overhead must trip the 10% cutoff")
+	}
+	if m.EfficiencyCutoff(p, OverheadModel{}) {
+		t.Error("zero overhead must not trip the cutoff")
+	}
+	full := m.FullSortCost(p, o, true)
+	if full <= m.SortCost(p, true) {
+		t.Error("full model must exceed the memory model")
+	}
+}
+
+func TestSortCostMoreThreadsHelpLargeInputs(t *testing.T) {
+	m := Default()
+	lines := (64 << 20) / knl.LineSize // 64 MB
+	c16 := m.SortCost(DefaultSortParams(m, lines, 16, knl.DDR), true)
+	c1 := m.SortCost(DefaultSortParams(m, lines, 1, knl.DDR), true)
+	if c16 >= c1 {
+		t.Errorf("16 threads (%v) not faster than 1 (%v) for 64 MB", c16, c1)
+	}
+}
+
+func TestFanoutsProfile(t *testing.T) {
+	tr := &Tree{Kids: []*Tree{{Kids: []*Tree{{}, {}}}, {}}}
+	lv := tr.Fanouts()
+	if len(lv) != 2 || lv[0][0] != 2 || lv[1][0] != 2 {
+		t.Errorf("fanouts = %v", lv)
+	}
+}

@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"fmt"
+
+	"knlcap/internal/core"
+	"knlcap/internal/knl"
+	"knlcap/internal/tune"
+)
+
+// The capability model evaluates the paper's Equation 1: the per-level
+// cost of a tree broadcast with fan-out k.
+func ExampleModel_TLev() {
+	m := core.Default()
+	fmt.Printf("Tlev(1) = %.0f ns\n", m.TLev(1))
+	fmt.Printf("Tlev(4) = %.0f ns\n", m.TLev(4))
+	// Output:
+	// Tlev(1) = 628 ns
+	// Tlev(4) = 1060 ns
+}
+
+// Equation 2 trades rounds against per-round fan-out for the dissemination
+// barrier.
+func ExampleModel_BarrierCost() {
+	m := core.Default()
+	for _, mw := range []int{1, 3, 7} {
+		fmt.Printf("m=%d: %.0f ns\n", mw, m.BarrierCost(64, mw))
+	}
+	// Output:
+	// m=1: 1500 ns
+	// m=3: 1410 ns
+	// m=7: 1820 ns
+}
+
+// Model-tuning derives the heterogeneous tree of Figure 1 and beats the
+// standard shapes under the model.
+func ExampleModel_BroadcastCost() {
+	m := core.Default()
+	tuned := tune.Broadcast(m, 32)
+	fmt.Printf("tuned: %.0f ns\n", tuned.CostNs)
+	fmt.Printf("binomial: %.0f ns\n", m.BroadcastCost(core.BinomialTree(32)))
+	fmt.Printf("flat: %.0f ns\n", m.BroadcastCost(core.FlatTree(32)))
+	// Output:
+	// tuned: 2552 ns
+	// binomial: 4579 ns
+	// flat: 4948 ns
+}
+
+// The sort model predicts the paper's headline: MCDRAM does not help the
+// merge sort despite 5x the bandwidth.
+func ExampleModel_SortCost() {
+	m := core.Default()
+	lines := (16 << 20) / knl.LineSize
+	d := m.SortCost(core.DefaultSortParams(m, lines, 64, knl.DDR), true)
+	mc := m.SortCost(core.DefaultSortParams(m, lines, 64, knl.MCDRAM), true)
+	fmt.Printf("MCDRAM gain for the sort: %.2fx\n", d/mc)
+	// Output:
+	// MCDRAM gain for the sort: 1.05x
+}

@@ -1,0 +1,197 @@
+// Package core implements the paper's primary contribution: capability
+// models of the memory subsystem. A Model holds the measured capability
+// parameters (cache-to-cache latencies, contention coefficients, memory
+// latencies and achievable bandwidth curves) and exposes the analytical
+// cost functions of the paper — Equation 1 (tree broadcast/reduce),
+// Equation 2 (dissemination barrier) and Equations 3-5 (merge-sort memory
+// cost) — together with the min-max envelope used to bound unpredictable
+// polling behaviour.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"knlcap/internal/bench"
+	"knlcap/internal/knl"
+)
+
+// BWPoint is one point of an achievable-bandwidth curve.
+type BWPoint struct {
+	Threads int
+	GBs     float64
+}
+
+// Model is a fitted capability model for one machine configuration.
+// All times are nanoseconds, all bandwidths GB/s.
+type Model struct {
+	Config knl.Config
+
+	// RL is the cost of reading a line from local cache (L1).
+	RL float64
+	// RTileM/E/SF are same-tile L2 reads by state.
+	RTileM, RTileE, RTileSF float64
+	// RR is the cost of reading a line from a remote cache (median), with
+	// RRMin/RRMax the distance band.
+	RR, RRMin, RRMax float64
+	// RI is the cost of reading one line from memory (DRAM, the default
+	// placement of shared structures); RIMCDRAM is the MCDRAM variant.
+	RI, RIMCDRAM float64
+
+	// Contention: T_C(N) = CAlpha + CBeta*N for N simultaneous readers of
+	// one line.
+	CAlpha, CBeta float64
+
+	// Cache-to-cache streaming capabilities (GB/s of payload).
+	BWRemoteCopy, BWTileCopyE, BWTileCopyM, BWRemoteRead float64
+
+	// Achievable memory bandwidth curves per technology, for the triad-like
+	// mixed pattern the sort model needs (monotone in threads).
+	BWCurve map[knl.MemKind][]BWPoint
+
+	// ReduceOpNs is the per-child cost of combining a contribution during
+	// a reduce (vector op plus buffer read).
+	ReduceOpNs float64
+
+	// WorstPollFactor scales polling-related terms in the min-max worst
+	// case (a polled line can bounce between poller and writer).
+	WorstPollFactor float64
+}
+
+// Default returns the capability model populated with the paper's own
+// published medians (Tables I and II, SNC4-flat column) — the model a user
+// without the benchmark suite would start from.
+func Default() *Model {
+	return &Model{
+		Config: knl.DefaultConfig(),
+		RL:     3.8,
+		RTileM: 34, RTileE: 18, RTileSF: 14,
+		RR: 110, RRMin: 96, RRMax: 122,
+		RI: 140, RIMCDRAM: 167,
+		CAlpha: 200, CBeta: 34,
+		BWRemoteCopy: 7.5, BWTileCopyE: 9.2, BWTileCopyM: 6.7, BWRemoteRead: 2.5,
+		BWCurve: map[knl.MemKind][]BWPoint{
+			knl.DDR: {
+				{1, 6}, {4, 24}, {8, 45}, {16, 70}, {32, 71}, {64, 71},
+				{128, 71}, {256, 71},
+			},
+			knl.MCDRAM: {
+				{1, 6}, {4, 24}, {8, 48}, {16, 95}, {32, 180}, {64, 300},
+				{128, 340}, {256, 371},
+			},
+		},
+		ReduceOpNs:      6,
+		WorstPollFactor: 2,
+	}
+}
+
+// FromMeasurements fits a Model from benchmark results (the "model-tune"
+// path: run the suite once, then derive algorithms analytically).
+// sweep optionally provides the achievable-bandwidth curve (Figure 9
+// points); when nil the Default curve is kept.
+func FromMeasurements(t1 bench.TableI, t2 bench.TableII, sweep []bench.MemBWPoint) *Model {
+	m := Default()
+	m.Config = t1.Latency.Config
+
+	m.RL = t1.Latency.LocalL1
+	m.RTileM = t1.Latency.TileM
+	m.RTileE = t1.Latency.TileE
+	m.RTileSF = t1.Latency.TileSF
+	m.RRMin = t1.Latency.RemoteE.Lo
+	m.RRMax = t1.Latency.RemoteM.Hi
+	m.RR = (t1.Latency.RemoteE.Lo + t1.Latency.RemoteM.Hi) / 2
+	m.CAlpha = t1.Contention.Alpha
+	m.CBeta = t1.Contention.Beta
+	m.BWRemoteCopy = t1.Bandwidth.CopyRemote
+	m.BWTileCopyE = t1.Bandwidth.CopyTileE
+	m.BWTileCopyM = t1.Bandwidth.CopyTileM
+	m.BWRemoteRead = t1.Bandwidth.Read
+
+	m.RI = mid(t2.Latency.DRAM)
+	if t2.Config.Memory == knl.CacheMode {
+		m.RI = mid(t2.Latency.Cache)
+		m.RIMCDRAM = m.RI
+	} else if t2.Latency.MCDRAM.Hi > 0 {
+		m.RIMCDRAM = mid(t2.Latency.MCDRAM)
+	}
+
+	if len(sweep) > 0 {
+		curve := map[knl.MemKind][]BWPoint{}
+		for _, p := range sweep {
+			curve[p.Kind] = append(curve[p.Kind], BWPoint{Threads: p.Threads, GBs: p.GBs})
+		}
+		for kind := range curve {
+			sort.Slice(curve[kind], func(i, j int) bool {
+				return curve[kind][i].Threads < curve[kind][j].Threads
+			})
+		}
+		m.BWCurve = curve
+	}
+	return m
+}
+
+func mid(r bench.Range) float64 { return (r.Lo + r.Hi) / 2 }
+
+// Validate checks the model for physical plausibility.
+func (m *Model) Validate() error {
+	switch {
+	case m.RL <= 0 || m.RR <= 0 || m.RI <= 0:
+		return fmt.Errorf("core: non-positive latency capability")
+	case m.RL >= m.RTileSF || m.RTileSF > m.RTileM:
+		return fmt.Errorf("core: cache level ordering violated (RL=%v tileSF=%v tileM=%v)",
+			m.RL, m.RTileSF, m.RTileM)
+	case m.RR <= m.RTileM:
+		return fmt.Errorf("core: remote read (%v) not slower than tile read (%v)", m.RR, m.RTileM)
+	case m.CBeta <= 0:
+		return fmt.Errorf("core: contention slope %v must be positive", m.CBeta)
+	case m.WorstPollFactor < 1:
+		return fmt.Errorf("core: worst poll factor %v < 1", m.WorstPollFactor)
+	}
+	for kind, pts := range m.BWCurve {
+		prev := BWPoint{}
+		for _, p := range pts {
+			if p.Threads <= prev.Threads || p.GBs <= 0 {
+				return fmt.Errorf("core: %v bandwidth curve not monotone in threads", kind)
+			}
+			prev = p
+		}
+	}
+	return nil
+}
+
+// TC evaluates the contention model T_C(N) = alpha + beta*N.
+func (m *Model) TC(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return m.CAlpha + m.CBeta*float64(n)
+}
+
+// AchievableBW interpolates the achievable aggregate bandwidth (GB/s) for
+// the technology at the given thread count.
+func (m *Model) AchievableBW(kind knl.MemKind, threads int) float64 {
+	pts := m.BWCurve[kind]
+	if len(pts) == 0 {
+		return 0
+	}
+	if threads <= pts[0].Threads {
+		// Scale the first point down linearly (1 thread minimum).
+		return pts[0].GBs * float64(threads) / float64(pts[0].Threads)
+	}
+	for i := 1; i < len(pts); i++ {
+		if threads <= pts[i].Threads {
+			a, b := pts[i-1], pts[i]
+			frac := float64(threads-a.Threads) / float64(b.Threads-a.Threads)
+			return a.GBs + frac*(b.GBs-a.GBs)
+		}
+	}
+	return pts[len(pts)-1].GBs
+}
+
+// MemLatency returns the per-line memory read latency for a technology.
+func (m *Model) MemLatency(kind knl.MemKind) float64 {
+	if kind == knl.MCDRAM {
+		return m.RIMCDRAM
+	}
+	return m.RI
+}

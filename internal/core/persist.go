@@ -1,0 +1,192 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"knlcap/internal/knl"
+)
+
+// modelJSON is the stable on-disk representation of a Model. Bandwidth
+// curves are keyed by technology name so the file is self-describing.
+type modelJSON struct {
+	Version int    `json:"version"`
+	Cluster string `json:"cluster_mode"`
+	Memory  string `json:"memory_mode"`
+
+	RL      float64 `json:"rl_ns"`
+	RTileM  float64 `json:"r_tile_m_ns"`
+	RTileE  float64 `json:"r_tile_e_ns"`
+	RTileSF float64 `json:"r_tile_sf_ns"`
+	RR      float64 `json:"rr_ns"`
+	RRMin   float64 `json:"rr_min_ns"`
+	RRMax   float64 `json:"rr_max_ns"`
+	RI      float64 `json:"ri_ns"`
+	RIMC    float64 `json:"ri_mcdram_ns"`
+
+	CAlpha float64 `json:"contention_alpha_ns"`
+	CBeta  float64 `json:"contention_beta_ns"`
+
+	BWRemoteCopy float64 `json:"bw_remote_copy_gbs"`
+	BWTileCopyE  float64 `json:"bw_tile_copy_e_gbs"`
+	BWTileCopyM  float64 `json:"bw_tile_copy_m_gbs"`
+	BWRemoteRead float64 `json:"bw_remote_read_gbs"`
+
+	BWCurve map[string][]BWPoint `json:"bw_curves"`
+
+	ReduceOpNs      float64 `json:"reduce_op_ns"`
+	WorstPollFactor float64 `json:"worst_poll_factor"`
+}
+
+const modelFileVersion = 1
+
+// Save serializes the model as indented JSON.
+func (m *Model) Save(w io.Writer) error {
+	j := modelJSON{
+		Version: modelFileVersion,
+		Cluster: m.Config.Cluster.String(),
+		Memory:  m.Config.Memory.String(),
+		RL:      m.RL, RTileM: m.RTileM, RTileE: m.RTileE, RTileSF: m.RTileSF,
+		RR: m.RR, RRMin: m.RRMin, RRMax: m.RRMax,
+		RI: m.RI, RIMC: m.RIMCDRAM,
+		CAlpha: m.CAlpha, CBeta: m.CBeta,
+		BWRemoteCopy: m.BWRemoteCopy, BWTileCopyE: m.BWTileCopyE,
+		BWTileCopyM: m.BWTileCopyM, BWRemoteRead: m.BWRemoteRead,
+		BWCurve:         map[string][]BWPoint{},
+		ReduceOpNs:      m.ReduceOpNs,
+		WorstPollFactor: m.WorstPollFactor,
+	}
+	for kind, pts := range m.BWCurve {
+		j.BWCurve[kind.String()] = pts
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+// ReadModel deserializes a model written by Save and validates it.
+func ReadModel(r io.Reader) (*Model, error) {
+	var j modelJSON
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if j.Version != modelFileVersion {
+		return nil, fmt.Errorf("core: unsupported model file version %d", j.Version)
+	}
+	m := &Model{
+		Config: knl.DefaultConfig(),
+		RL:     j.RL, RTileM: j.RTileM, RTileE: j.RTileE, RTileSF: j.RTileSF,
+		RR: j.RR, RRMin: j.RRMin, RRMax: j.RRMax,
+		RI: j.RI, RIMCDRAM: j.RIMC,
+		CAlpha: j.CAlpha, CBeta: j.CBeta,
+		BWRemoteCopy: j.BWRemoteCopy, BWTileCopyE: j.BWTileCopyE,
+		BWTileCopyM: j.BWTileCopyM, BWRemoteRead: j.BWRemoteRead,
+		BWCurve:         map[knl.MemKind][]BWPoint{},
+		ReduceOpNs:      j.ReduceOpNs,
+		WorstPollFactor: j.WorstPollFactor,
+	}
+	for _, cm := range knl.ClusterModes {
+		if cm.String() == j.Cluster {
+			m.Config.Cluster = cm
+		}
+	}
+	for _, mm := range []knl.MemoryMode{knl.Flat, knl.CacheMode, knl.Hybrid} {
+		if mm.String() == j.Memory {
+			m.Config.Memory = mm
+		}
+	}
+	for name, pts := range j.BWCurve {
+		var kind knl.MemKind
+		switch name {
+		case knl.DDR.String():
+			kind = knl.DDR
+		case knl.MCDRAM.String():
+			kind = knl.MCDRAM
+		default:
+			return nil, fmt.Errorf("core: unknown memory kind %q in model file", name)
+		}
+		sort.Slice(pts, func(a, b int) bool { return pts[a].Threads < pts[b].Threads })
+		m.BWCurve[kind] = pts
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loaded model invalid: %w", err)
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to a JSON file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Save(f)
+}
+
+// LoadFile reads a model from a JSON file.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadModel(f)
+}
+
+// ParamDelta is one entry of a model comparison.
+type ParamDelta struct {
+	Name     string
+	A, B     float64
+	RelDelta float64 // |A-B| / max(|A|,|B|)
+}
+
+// Compare reports the relative differences between two models' scalar
+// capabilities, largest first — useful for spotting drift between a fitted
+// model and the published numbers, or between machine configurations.
+func Compare(a, b *Model) []ParamDelta {
+	pairs := []struct {
+		name string
+		av   float64
+		bv   float64
+	}{
+		{"RL", a.RL, b.RL},
+		{"RTileM", a.RTileM, b.RTileM},
+		{"RTileE", a.RTileE, b.RTileE},
+		{"RTileSF", a.RTileSF, b.RTileSF},
+		{"RR", a.RR, b.RR},
+		{"RI", a.RI, b.RI},
+		{"RIMCDRAM", a.RIMCDRAM, b.RIMCDRAM},
+		{"CAlpha", a.CAlpha, b.CAlpha},
+		{"CBeta", a.CBeta, b.CBeta},
+		{"BWRemoteCopy", a.BWRemoteCopy, b.BWRemoteCopy},
+		{"BWTileCopyE", a.BWTileCopyE, b.BWTileCopyE},
+		{"BWTileCopyM", a.BWTileCopyM, b.BWTileCopyM},
+		{"BWRemoteRead", a.BWRemoteRead, b.BWRemoteRead},
+	}
+	var out []ParamDelta
+	for _, p := range pairs {
+		den := math.Max(math.Abs(p.av), math.Abs(p.bv))
+		rel := 0.0
+		if den > 0 {
+			rel = math.Abs(p.av-p.bv) / den
+		}
+		out = append(out, ParamDelta{Name: p.name, A: p.av, B: p.bv, RelDelta: rel})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RelDelta > out[j].RelDelta })
+	return out
+}
+
+// MaxRelDelta returns the largest relative difference between two models'
+// scalar capabilities.
+func MaxRelDelta(a, b *Model) float64 {
+	d := Compare(a, b)
+	if len(d) == 0 {
+		return 0
+	}
+	return d[0].RelDelta
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"knlcap/internal/knl"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	m := Default()
+	m.Config = knl.DefaultConfig().WithModes(knl.Quadrant, knl.CacheMode)
+	m.RR = 111.5
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RR != m.RR || got.RL != m.RL || got.CBeta != m.CBeta {
+		t.Errorf("scalars lost in round trip: %+v", got)
+	}
+	if got.Config.Cluster != knl.Quadrant || got.Config.Memory != knl.CacheMode {
+		t.Errorf("config lost: %+v", got.Config)
+	}
+	if len(got.BWCurve[knl.MCDRAM]) != len(m.BWCurve[knl.MCDRAM]) {
+		t.Error("bandwidth curve lost")
+	}
+	if MaxRelDelta(m, got) != 0 {
+		t.Errorf("round trip changed parameters: %v", Compare(m, got)[0])
+	}
+}
+
+func TestModelFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	m := Default()
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxRelDelta(m, got) != 0 {
+		t.Error("file round trip changed parameters")
+	}
+}
+
+func TestReadModelRejectsGarbage(t *testing.T) {
+	if _, err := ReadModel(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadModel(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("unknown version accepted")
+	}
+	// Valid JSON, invalid model (negative beta) must be rejected by
+	// validation.
+	m := Default()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(buf.String(), `"contention_beta_ns": 34`, `"contention_beta_ns": -1`, 1)
+	if bad == buf.String() {
+		t.Fatal("test setup: beta not found in serialization")
+	}
+	if _, err := ReadModel(strings.NewReader(bad)); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestCompareOrdersByDelta(t *testing.T) {
+	a, b := Default(), Default()
+	b.RR = a.RR * 2   // 50% delta
+	b.RL = a.RL * 1.1 // ~9% delta
+	deltas := Compare(a, b)
+	if deltas[0].Name != "RR" {
+		t.Errorf("largest delta should be RR, got %s", deltas[0].Name)
+	}
+	if MaxRelDelta(a, b) < 0.49 || MaxRelDelta(a, b) > 0.51 {
+		t.Errorf("max delta = %v, want 0.5", MaxRelDelta(a, b))
+	}
+	if MaxRelDelta(a, a) != 0 {
+		t.Error("self-comparison should be zero")
+	}
+}

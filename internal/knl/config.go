@@ -1,0 +1,126 @@
+package knl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config is the full machine configuration: one of the fifteen
+// cluster-mode x memory-mode combinations plus the yield seed and the
+// MCDRAM-cache scale factor used by the simulator.
+type Config struct {
+	Cluster ClusterMode
+	Memory  MemoryMode
+
+	// YieldSeed selects which tile slots are disabled.
+	YieldSeed uint64
+
+	// CacheScaleShift scales the modeled MCDRAM cache capacity down by
+	// 2^CacheScaleShift so cache-mode miss behaviour is observable with
+	// small simulated working sets. 0 models the full 16 GB. Benchmarks use
+	// the default (see DefaultCacheScaleShift); the physical MCDRAM size is
+	// unchanged in flat mode.
+	CacheScaleShift uint
+
+	// HybridCacheFraction is the fraction of MCDRAM used as cache in Hybrid
+	// mode (the hardware supports 1/4 or 1/2; default 1/2).
+	HybridCacheFraction float64
+}
+
+// DefaultCacheScaleShift keeps cache-mode experiments fast: the MCDRAM cache
+// is modeled at 16 GB >> 10 = 16 MB so benchmark working sets of tens of MB
+// exercise hits, misses and evictions exactly like the paper's GB-scale sets.
+const DefaultCacheScaleShift = 10
+
+// DefaultConfig returns the paper's headline configuration, SNC4-flat.
+func DefaultConfig() Config {
+	return Config{
+		Cluster:             SNC4,
+		Memory:              Flat,
+		YieldSeed:           7210,
+		CacheScaleShift:     DefaultCacheScaleShift,
+		HybridCacheFraction: 0.5,
+	}
+}
+
+// WithModes returns a copy of c with the given cluster and memory modes.
+func (c Config) WithModes(cm ClusterMode, mm MemoryMode) Config {
+	c.Cluster = cm
+	c.Memory = mm
+	return c
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	switch c.Cluster {
+	case A2A, Hemisphere, Quadrant, SNC2, SNC4:
+	default:
+		return fmt.Errorf("knl: invalid cluster mode %d", int(c.Cluster))
+	}
+	switch c.Memory {
+	case Flat, CacheMode, Hybrid:
+	default:
+		return fmt.Errorf("knl: invalid memory mode %d", int(c.Memory))
+	}
+	if c.Memory == Hybrid &&
+		(c.HybridCacheFraction <= 0 || c.HybridCacheFraction >= 1) {
+		return fmt.Errorf("knl: hybrid cache fraction %v out of (0,1)",
+			c.HybridCacheFraction)
+	}
+	if c.CacheScaleShift > 24 {
+		return fmt.Errorf("knl: cache scale shift %d too large", c.CacheScaleShift)
+	}
+	return nil
+}
+
+// MCDRAMCacheBytes returns the modeled capacity of the MCDRAM memory-side
+// cache under this configuration (0 when MCDRAM is fully flat).
+func (c Config) MCDRAMCacheBytes() int64 {
+	var full int64
+	switch c.Memory {
+	case Flat:
+		return 0
+	case CacheMode:
+		full = MCDRAMBytes
+	case Hybrid:
+		full = int64(float64(MCDRAMBytes) * c.HybridCacheFraction)
+	}
+	return full >> c.CacheScaleShift
+}
+
+// Name returns a short label such as "SNC4-flat" used in tables and figures.
+func (c Config) Name() string {
+	return c.Cluster.String() + "-" + c.Memory.String()
+}
+
+// AllConfigs enumerates the cluster-mode sweep for a fixed memory mode, in
+// the paper's table column order.
+func AllConfigs(mm MemoryMode) []Config {
+	base := DefaultConfig()
+	out := make([]Config, 0, len(ClusterModes))
+	for _, cm := range ClusterModes {
+		out = append(out, base.WithModes(cm, mm))
+	}
+	return out
+}
+
+// ParseClusterMode resolves a cluster-mode name ("SNC4", "A2A", ...,
+// case-insensitive).
+func ParseClusterMode(name string) (ClusterMode, error) {
+	for _, cm := range ClusterModes {
+		if strings.EqualFold(cm.String(), name) {
+			return cm, nil
+		}
+	}
+	return 0, fmt.Errorf("knl: unknown cluster mode %q (want SNC4|SNC2|QUAD|HEM|A2A)", name)
+}
+
+// ParseMemoryMode resolves a memory-mode name ("flat", "cache", "hybrid").
+func ParseMemoryMode(name string) (MemoryMode, error) {
+	for _, mm := range []MemoryMode{Flat, CacheMode, Hybrid} {
+		if strings.EqualFold(mm.String(), name) {
+			return mm, nil
+		}
+	}
+	return 0, fmt.Errorf("knl: unknown memory mode %q (want flat|cache|hybrid)", name)
+}

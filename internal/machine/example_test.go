@@ -1,0 +1,39 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"knlcap/internal/cache"
+	"knlcap/internal/knl"
+	"knlcap/internal/machine"
+)
+
+// A machine is built from a configuration; threads are simulated processes
+// whose memory operations carry full MESIF protocol timing.
+func Example() {
+	p := machine.DefaultParams()
+	p.JitterFrac = 0 // deterministic costs for the example
+	m := machine.NewWithParams(knl.DefaultConfig(), p)
+
+	buf := m.Alloc.MustAlloc(knl.DDR, 0, knl.LineSize)
+	m.Prime(buf, 2, cache.Exclusive) // core 2 = the neighbouring tile
+
+	m.Spawn(knl.Place{Tile: 0, Core: 0}, func(t *machine.Thread) {
+		start := t.Now()
+		t.Load(buf, 0) // remote cache-to-cache transfer
+		remote := t.Now() - start
+
+		start = t.Now()
+		t.Load(buf, 0) // now resident in our L1
+		local := t.Now() - start
+
+		fmt.Printf("remote load: %.1f ns\n", remote)
+		fmt.Printf("local reload: %.1f ns\n", local)
+	})
+	if _, err := m.Run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// remote load: 117.4 ns
+	// local reload: 3.8 ns
+}

@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"testing"
+
+	"knlcap/internal/knl"
+	"knlcap/internal/memmode"
+)
+
+// FuzzCoherence drives byte-encoded operation sequences from fuzzer input
+// through the protocol and checks the MESIF invariants. Each input byte
+// encodes (op, actor, line): op = b>>6, actor = (b>>2)&15, line = b&3.
+// Run open-ended with `go test -fuzz FuzzCoherence ./internal/machine`.
+func FuzzCoherence(f *testing.F) {
+	f.Add([]byte{0x00, 0x41, 0x82, 0xc3})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0x7f, 0x80})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) == 0 {
+			return
+		}
+		for _, cfg := range []knl.Config{
+			knl.DefaultConfig(),
+			knl.DefaultConfig().WithModes(knl.A2A, knl.CacheMode),
+		} {
+			m := noJitterF(cfg)
+			buf := m.Alloc.MustAlloc(knl.DDR, 0, 4*knl.LineSize)
+			// Partition the program across 8 actors deterministically.
+			perActor := make([][]byte, 8)
+			for i, b := range program {
+				actor := int(b>>2) & 7
+				_ = i
+				perActor[actor] = append(perActor[actor], b)
+			}
+			for a, ops := range perActor {
+				if len(ops) == 0 {
+					continue
+				}
+				core := (a * 7) % knl.NumCores
+				ops := ops
+				m.Spawn(place(core), func(th *Thread) {
+					for _, b := range ops {
+						li := int(b) & 3
+						switch b >> 6 {
+						case 0:
+							th.Load(buf, li)
+						case 1:
+							th.Store(buf, li)
+						case 2:
+							th.StoreNT(buf, li)
+						default:
+							th.Load(buf, li)
+							th.Store(buf, li)
+						}
+					}
+				})
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatalf("%s: %v", cfg.Name(), err)
+			}
+			checkCoherence(t, m, []memmode.Buffer{buf})
+		}
+	})
+}
+
+// noJitterF mirrors the test helper without *testing.T plumbing.
+func noJitterF(cfg knl.Config) *Machine {
+	p := DefaultParams()
+	p.JitterFrac = 0
+	return NewWithParams(cfg, p)
+}

@@ -1,0 +1,365 @@
+// Package machine assembles the full simulated Knights Landing system:
+// tiles with L1/L2 tag arrays and CHA directories, the mesh router, the
+// memory channels and the memory-mode policy, and exposes a per-thread
+// operation API (loads, stores, streams, flag polling) with full MESIF
+// protocol timing.
+//
+// This is the substrate every benchmark in the repository "measures"; see
+// DESIGN.md for the substitution rationale and the calibration policy.
+package machine
+
+import (
+	"fmt"
+
+	"knlcap/internal/cache"
+	"knlcap/internal/cluster"
+	"knlcap/internal/knl"
+	"knlcap/internal/memmode"
+	"knlcap/internal/memory"
+	"knlcap/internal/mesh"
+	"knlcap/internal/sim"
+	"knlcap/internal/stats"
+)
+
+// tileState holds the shared structures of one dual-core tile.
+type tileState struct {
+	l2 *cache.SetAssoc
+	// cha serializes coherence requests homed at this tile's directory.
+	cha *sim.Resource
+	// port serializes cache-to-cache forwards sourced from this tile's L2.
+	port *sim.Resource
+}
+
+// coreState holds one core's private structures.
+type coreState struct {
+	l1 *cache.SetAssoc
+	// issue serializes the core's execution of streaming kernels: the four
+	// hyperthreads of a core share it, so compact schedules contend here
+	// (the paper's compact-vs-scatter differences in Figure 9).
+	issue *sim.Resource
+}
+
+// Machine is one simulated KNL under a specific configuration.
+type Machine struct {
+	Env    *sim.Env
+	Cfg    knl.Config
+	FP     *knl.Floorplan
+	Router *mesh.Router
+	Fabric *mesh.LinkFabric
+	Mapper *cluster.Mapper
+	Mem    *memory.System
+	Policy *memmode.Policy
+	Alloc  *memmode.Allocator
+	P      Params
+
+	tiles []*tileState
+	cores []*coreState
+
+	// dir maps a line to the set of tiles whose L2 holds it (any state).
+	dir map[cache.Line]uint64
+	// words stores one 64-bit payload per line for flags and reduce values.
+	words map[cache.Line]uint64
+	// watchers wakes pollers when a watched line is written or invalidated.
+	watchers map[cache.Line]*sim.Signal
+
+	rng    *stats.RNG
+	tracer Tracer
+}
+
+// New builds a machine for the configuration with default timing parameters.
+func New(cfg knl.Config) *Machine {
+	return NewWithParams(cfg, DefaultParams())
+}
+
+// NewWithParams builds a machine with explicit timing parameters.
+func NewWithParams(cfg knl.Config, p Params) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	env := sim.NewEnv()
+	fp := knl.NewFloorplan(cfg.YieldSeed)
+	m := &Machine{
+		Env:      env,
+		Cfg:      cfg,
+		FP:       fp,
+		Router:   mesh.NewRouter(fp, mesh.DefaultParams()),
+		Fabric:   mesh.NewLinkFabric(env, mesh.DefaultParams()),
+		Mapper:   cluster.NewMapper(fp, cfg),
+		Mem:      memory.NewSystem(env, cfg.Cluster),
+		Policy:   memmode.NewPolicy(cfg),
+		Alloc:    memmode.NewAllocator(cfg),
+		P:        p,
+		dir:      make(map[cache.Line]uint64),
+		words:    make(map[cache.Line]uint64),
+		watchers: make(map[cache.Line]*sim.Signal),
+		rng:      stats.NewRNG(cfg.YieldSeed ^ 0x6a17),
+	}
+	for t := 0; t < fp.NumTiles(); t++ {
+		m.tiles = append(m.tiles, &tileState{
+			l2:   cache.NewSetAssoc(fmt.Sprintf("L2[%d]", t), knl.L2Bytes, knl.L2Ways),
+			cha:  sim.NewResource(env, fmt.Sprintf("CHA[%d]", t), 1),
+			port: sim.NewResource(env, fmt.Sprintf("L2port[%d]", t), 1),
+		})
+	}
+	for c := 0; c < fp.NumTiles()*knl.CoresPerTile; c++ {
+		m.cores = append(m.cores, &coreState{
+			l1:    cache.NewSetAssoc(fmt.Sprintf("L1[%d]", c), knl.L1Bytes, knl.L1Ways),
+			issue: sim.NewResource(env, fmt.Sprintf("issue[%d]", c), 1),
+		})
+	}
+	return m
+}
+
+// NumTiles returns the number of active tiles.
+func (m *Machine) NumTiles() int { return len(m.tiles) }
+
+// NumCores returns the number of active cores.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// jitter returns d scaled by a deterministic pseudo-random factor in
+// [1-JitterFrac, 1+JitterFrac].
+func (m *Machine) jitter(d float64) float64 {
+	if m.P.JitterFrac == 0 {
+		return d
+	}
+	return d * (1 + m.P.JitterFrac*(2*m.rng.Float64()-1))
+}
+
+// meshHop routes a protocol request packet between two mesh positions:
+// ring occupancy through the link fabric plus the jittered traversal
+// latency. Data-return legs are folded into post-commit tails and charged
+// as latency only.
+func (m *Machine) meshHop(p *sim.Proc, a, b knl.Pos) {
+	if a == b {
+		return
+	}
+	if m.Fabric != nil {
+		m.Fabric.Occupy(p, a, b)
+	}
+	p.Wait(m.jitter(m.Router.Latency(a, b)))
+}
+
+// meshTileToTile is meshHop between two logical tiles.
+func (m *Machine) meshTileToTile(p *sim.Proc, a, b int) {
+	if a == b {
+		return
+	}
+	m.meshHop(p, m.FP.TilePos(a), m.FP.TilePos(b))
+}
+
+// placeOf resolves the memory placement of a line belonging to buffer b.
+func (m *Machine) placeOf(b memmode.Buffer, l cache.Line) cluster.LinePlace {
+	return m.Mapper.Place(b.Kind, b.Affinity, l)
+}
+
+// placeOfLine resolves placement for a bare line (reverse buffer lookup),
+// used for evicted victims.
+func (m *Machine) placeOfLine(l cache.Line) (cluster.LinePlace, bool) {
+	b, ok := m.Alloc.FindBuffer(l.Addr())
+	if !ok {
+		return cluster.LinePlace{}, false
+	}
+	return m.placeOf(b, l), true
+}
+
+// --- directory helpers -----------------------------------------------------
+
+func (m *Machine) dirAdd(l cache.Line, tile int) {
+	m.dir[l] |= 1 << uint(tile)
+}
+
+func (m *Machine) dirRemove(l cache.Line, tile int) {
+	if owners, ok := m.dir[l]; ok {
+		owners &^= 1 << uint(tile)
+		if owners == 0 {
+			delete(m.dir, l)
+		} else {
+			m.dir[l] = owners
+		}
+	}
+}
+
+// owners returns the tile bitset holding the line.
+func (m *Machine) owners(l cache.Line) uint64 { return m.dir[l] }
+
+// forwarder picks the tile that will source a cache-to-cache transfer for
+// the line, preferring M > E > F (Shared copies cannot forward in MESIF).
+func (m *Machine) forwarder(l cache.Line) (tile int, st cache.State, ok bool) {
+	owners := m.dir[l]
+	best := cache.Invalid
+	bestTile := -1
+	for t := 0; owners != 0; t++ {
+		if owners&1 != 0 {
+			s := m.tiles[t].l2.Peek(l)
+			if s.CanForward() && rankState(s) > rankState(best) {
+				best, bestTile = s, t
+			}
+		}
+		owners >>= 1
+	}
+	if bestTile < 0 {
+		return 0, cache.Invalid, false
+	}
+	return bestTile, best, true
+}
+
+func rankState(s cache.State) int {
+	switch s {
+	case cache.Modified:
+		return 3
+	case cache.Exclusive:
+		return 2
+	case cache.Forward:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// installL2 inserts a line into a tile's L2 and handles the victim:
+// directory cleanup, L1 back-invalidation, and (for Modified victims) a
+// synchronous write-back charge on the memory channels.
+func (m *Machine) installL2(p *sim.Proc, tile int, l cache.Line, st cache.State) {
+	v := m.tiles[tile].l2.Insert(l, st)
+	m.dirAdd(l, tile)
+	if v.State == cache.Invalid {
+		return
+	}
+	m.dirRemove(v.Line, tile)
+	for c := 0; c < knl.CoresPerTile; c++ {
+		m.cores[tile*knl.CoresPerTile+c].l1.Invalidate(v.Line)
+	}
+	if v.State == cache.Modified {
+		m.writeBack(p, v.Line)
+	}
+}
+
+// writeBack charges the memory-system cost of writing a dirty line back.
+// In cache/hybrid mode for DDR lines, write-backs land in the MCDRAM cache
+// ("write-backs are made directly to MCDRAM", paper Section II-C).
+func (m *Machine) writeBack(p *sim.Proc, l cache.Line) {
+	place, ok := m.placeOfLine(l)
+	if !ok {
+		return // line outside any allocation (bench-internal scratch)
+	}
+	if m.Policy.Enabled() && place.Kind == knl.DDR {
+		edc := m.Mapper.CacheEDC(place.Channel, l)
+		m.Mem.Channel(knl.MCDRAM, edc).ServeWrite(p, 1)
+		if !m.Policy.Probe(edc, l) {
+			m.fillSideCache(p, edc, l)
+		}
+		m.Policy.MarkDirty(edc, l)
+		return
+	}
+	m.Mem.Channel(place.Kind, place.Channel).ServeWrite(p, 1)
+}
+
+// fillSideCache installs a line in the MCDRAM side cache, flushing a dirty
+// victim to DDR.
+func (m *Machine) fillSideCache(p *sim.Proc, edc int, l cache.Line) {
+	victim, dirty, ok := m.Policy.Fill(edc, l)
+	if ok && dirty {
+		if place, found := m.placeOfLine(victim); found {
+			m.Mem.Channel(knl.DDR, place.Channel).ServeWrite(p, 1)
+		}
+	}
+}
+
+// --- zero-time setup helpers ------------------------------------------------
+
+// FlushLine removes a line from every cache (no timing cost; benchmark
+// setup only). Dirty data is discarded.
+func (m *Machine) FlushLine(l cache.Line) {
+	owners := m.dir[l]
+	for t := 0; owners != 0; t++ {
+		if owners&1 != 0 {
+			m.tiles[t].l2.Invalidate(l)
+			for c := 0; c < knl.CoresPerTile; c++ {
+				m.cores[t*knl.CoresPerTile+c].l1.Invalidate(l)
+			}
+		}
+		owners >>= 1
+	}
+	delete(m.dir, l)
+}
+
+// FlushBuffer removes every line of the buffer from all caches.
+func (m *Machine) FlushBuffer(b memmode.Buffer) {
+	for i := 0; i < b.NumLines(); i++ {
+		m.FlushLine(b.Line(i))
+	}
+}
+
+// Prime installs every line of the buffer in the given core's caches with
+// the given state, at zero simulated cost (benchmark setup). For Shared the
+// line is also installed as Forward in a neighbouring tile (MESIF requires
+// a forwarder for the S measurements, mirroring how BenchIT prepares
+// states); for Forward a Shared copy is placed on the neighbour.
+func (m *Machine) Prime(b memmode.Buffer, core int, st cache.State) {
+	tile := core / knl.CoresPerTile
+	for i := 0; i < b.NumLines(); i++ {
+		l := b.Line(i)
+		m.FlushLine(l)
+		switch st {
+		case cache.Modified, cache.Exclusive:
+			m.primeOne(l, tile, core, st)
+		case cache.Shared:
+			m.primeOne(l, tile, core, cache.Shared)
+			nb := m.neighborTile(tile)
+			m.primeOne(l, nb, nb*knl.CoresPerTile, cache.Forward)
+		case cache.Forward:
+			m.primeOne(l, tile, core, cache.Forward)
+			nb := m.neighborTile(tile)
+			m.primeOne(l, nb, nb*knl.CoresPerTile, cache.Shared)
+		case cache.Invalid:
+			// Already flushed.
+		default:
+			panic("machine: cannot prime state " + st.String())
+		}
+	}
+}
+
+// neighborTile picks the tile holding the secondary S/F copy: adjacent to
+// the owner, but never tile 0, which is the conventional measuring tile of
+// the benchmark suite (a copy there would turn remote reads into L1 hits).
+func (m *Machine) neighborTile(tile int) int {
+	nb := (tile + 1) % m.NumTiles()
+	if nb == 0 {
+		nb = (tile + 2) % m.NumTiles()
+	}
+	return nb
+}
+
+func (m *Machine) primeOne(l cache.Line, tile, core int, st cache.State) {
+	m.tiles[tile].l2.Insert(l, st)
+	m.cores[core].l1.Insert(l, st)
+	m.dirAdd(l, tile)
+}
+
+// LineState reports where a line is cached: the state in the given tile's
+// L2 (Invalid if absent).
+func (m *Machine) LineState(tile int, l cache.Line) cache.State {
+	return m.tiles[tile].l2.Peek(l)
+}
+
+// L1State reports the state of a line in a core's L1.
+func (m *Machine) L1State(core int, l cache.Line) cache.State {
+	return m.cores[core].l1.Peek(l)
+}
+
+// watcher returns (creating on demand) the signal for a watched line.
+func (m *Machine) watcher(l cache.Line) *sim.Signal {
+	w, ok := m.watchers[l]
+	if !ok {
+		w = sim.NewSignal(m.Env)
+		m.watchers[l] = w
+	}
+	return w
+}
+
+// notify wakes pollers of a line after a visible write.
+func (m *Machine) notify(l cache.Line) {
+	if w, ok := m.watchers[l]; ok {
+		w.Broadcast()
+	}
+}

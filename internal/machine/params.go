@@ -1,0 +1,150 @@
+package machine
+
+// Params are the protocol timing constants of the simulated chip, in
+// nanoseconds. They are the calibration surface of the model: the anchor
+// values below are chosen so the simulator's *measured* medians land in the
+// bands of the paper's Tables I/II; everything else (distance spreads,
+// contention slopes, saturation curves, mode deltas) is emergent from the
+// protocol walks in this package.
+type Params struct {
+	// L1HitNs is a load serviced by the core's own L1D.
+	L1HitNs float64
+	// L1VecNs is the effective per-line cost of vectorized streaming reads
+	// that hit L1 (two 64 B load ports per cycle pipeline better than a
+	// dependent scalar chain).
+	L1VecNs float64
+	// L2MissDetectNs covers the L1 miss plus the L2 tag check before a
+	// request leaves the tile.
+	L2MissDetectNs float64
+
+	// Same-tile L2 access costs by coherence situation (paper Table I,
+	// "Tile" rows): reading a sibling core's Modified data forces an L1
+	// write-back (34 ns); Exclusive needs a clean snoop (18 ns);
+	// Shared/Forward is a plain shared-L2 read (14 ns).
+	L2HitMNs  float64
+	L2HitENs  float64
+	L2HitSFNs float64
+
+	// CHASvcNs is the occupancy of a home tag directory per coherence
+	// request; requests to the same line share one home CHA, which is what
+	// produces the paper's linear 1:N contention (beta ~= CHASvc + port).
+	CHASvcNs float64
+	// DirMissNs is the extra directory handling before falling to memory.
+	DirMissNs float64
+	// InvPerOwnerNs is CHA work per additional sharer invalidated by an RFO.
+	InvPerOwnerNs float64
+	// InvRoundTripNs is the latency for invalidations to reach sharers and
+	// be acknowledged (paid once per RFO that found sharers).
+	InvRoundTripNs float64
+
+	// OwnerPortSvcNs / OwnerPortSvcMNs are the forwarding tile's L2 port
+	// occupancy per line (Modified adds the write-back). Their reciprocals
+	// bound same-tile and remote cache-to-cache copy bandwidth.
+	OwnerPortSvcNs  float64
+	OwnerPortSvcMNs float64
+	// OwnerExtra*Ns are non-serialized forwarding latencies by source state.
+	OwnerExtraMNs  float64
+	OwnerExtraENs  float64
+	OwnerExtraSFNs float64
+	// DeliverNs is the fill path back into the requesting core.
+	DeliverNs float64
+
+	// MCDRAMCacheTagNs is the tag probe of the memory-side cache added to
+	// every memory access in cache/hybrid mode.
+	MCDRAMCacheTagNs float64
+
+	// StoreHitNs is a store that hits a writable (M/E) line in L1.
+	StoreHitNs float64
+	// StoreSerialNs is the per-line serialized cost of pipelined stores that
+	// hit writable lines inside a stream (the L1 store port).
+	StoreSerialNs float64
+	// StorePostNs is the core-visible cost of posting a non-temporal store.
+	StorePostNs float64
+
+	// Memory-level parallelism (outstanding lines per chunk) per access
+	// class; chunk latency overlaps across a chunk, serialized port costs
+	// do not.
+	MLPScalarRead int // dependent/scalar remote reads
+	MLPVecRead    int // vectorized remote-cache reads (paper: 2.5 GB/s)
+	MLPCopy       int // cache-to-cache copy streams (paper: 7.5 GB/s)
+	MLPMem        int // memory streams with prefetch + NT hints
+
+	// IssuePerLineNs is the core-pipeline occupancy per streamed line
+	// (vector load/store issue); the hyperthreads of a core share it.
+	IssuePerLineNs float64
+
+	// JitterFrac adds deterministic pseudo-random +/- jitter to protocol
+	// latencies so measured distributions have realistic spread.
+	JitterFrac float64
+}
+
+// DefaultParams returns the calibrated constants for the Xeon Phi 7210.
+func DefaultParams() Params {
+	return Params{
+		L1HitNs:        3.8,
+		L1VecNs:        2.0,
+		L2MissDetectNs: 10,
+
+		L2HitMNs:  34,
+		L2HitENs:  18,
+		L2HitSFNs: 14,
+
+		CHASvcNs:       25,
+		DirMissNs:      4,
+		InvPerOwnerNs:  3,
+		InvRoundTripNs: 12,
+
+		OwnerPortSvcNs:  7.0,
+		OwnerPortSvcMNs: 8.2,
+		OwnerExtraMNs:   41,
+		OwnerExtraENs:   38,
+		OwnerExtraSFNs:  33,
+		DeliverNs:       15,
+
+		MCDRAMCacheTagNs: 6,
+
+		StoreHitNs:    3.8,
+		StoreSerialNs: 0.8,
+		StorePostNs:   1.2,
+
+		IssuePerLineNs: 0.8,
+
+		MLPScalarRead: 2,
+		MLPVecRead:    4,
+		MLPCopy:       13,
+		MLPMem:        14,
+
+		JitterFrac: 0.02,
+	}
+}
+
+// KNCLikeParams approximates the previous-generation Knights Corner for
+// the paper's Section IV-B comparison: an in-order core that "relies on
+// having more than one thread per core to hide memory access latency",
+// a slower ring, and far higher coherence latencies (prior work measured
+// remote transfers in the several-hundred-nanosecond range on KNC).
+// The preset exists to make the generational claims testable, not as a
+// calibrated KNC model.
+func KNCLikeParams() Params {
+	p := DefaultParams()
+	// In-order issue: every local access is slower and nothing overlaps.
+	p.L1HitNs = 8
+	p.L1VecNs = 6
+	p.L2MissDetectNs = 25
+	p.L2HitMNs = 85
+	p.L2HitENs = 50
+	p.L2HitSFNs = 45
+	p.CHASvcNs = 90
+	p.OwnerPortSvcNs = 25
+	p.OwnerPortSvcMNs = 30
+	p.OwnerExtraMNs = 180
+	p.OwnerExtraENs = 170
+	p.OwnerExtraSFNs = 160
+	p.DeliverNs = 40
+	// One in-order thread keeps almost nothing in flight.
+	p.MLPScalarRead = 1
+	p.MLPVecRead = 2
+	p.MLPCopy = 4
+	p.MLPMem = 4
+	return p
+}

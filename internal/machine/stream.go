@@ -1,0 +1,502 @@
+package machine
+
+import (
+	"sort"
+
+	"knlcap/internal/cache"
+	"knlcap/internal/knl"
+	"knlcap/internal/memmode"
+	"knlcap/internal/sim"
+)
+
+// Streams model vectorized bulk kernels (read/write/copy/triad) with
+// memory-level parallelism. Each chunk of MLP lines pays
+//
+//	max(full protocol latency of the leading line, sum of serialized costs)
+//
+// because hardware overlaps the flight of outstanding lines with the port
+// service of their predecessors. The serialized costs (forwarding-port and
+// memory-channel occupancies) go through sim Resources, so multi-thread
+// contention and aggregate ceilings emerge from queueing; the latency bound
+// makes single-thread bandwidth latency-limited. This is the structure of
+// the paper's measurements (Table I bandwidth rows, Table II, Figs. 5/9).
+
+// chanKey identifies one memory channel in pending batches.
+type chanKey struct {
+	kind knl.MemKind
+	idx  int
+}
+
+// pending accumulates batched channel work for one chunk.
+type pending struct {
+	reads  map[chanKey]int
+	writes map[chanKey]int
+	// async lines (write-backs of forwarded M data) are served by a helper
+	// process so they consume channel bandwidth without delaying the stream.
+	async map[chanKey]int
+}
+
+func newPending() *pending {
+	return &pending{
+		reads:  map[chanKey]int{},
+		writes: map[chanKey]int{},
+		async:  map[chanKey]int{},
+	}
+}
+
+// flush serves the accumulated lines. Per-channel batches are issued as
+// concurrent helper processes and joined, so a chunk's traffic queues at all
+// of its channels simultaneously (no convoy across channels, and reads
+// overlap writes on full-duplex ports). Async write-backs are fired and
+// forgotten.
+func (pd *pending) flush(m *Machine, p *sim.Proc) {
+	type job struct {
+		k     chanKey
+		n     int
+		write bool
+	}
+	var jobs []job
+	for _, k := range sortedKeys(pd.reads) {
+		jobs = append(jobs, job{k, pd.reads[k], false})
+	}
+	for _, k := range sortedKeys(pd.writes) {
+		jobs = append(jobs, job{k, pd.writes[k], true})
+	}
+	if len(pd.async) > 0 {
+		async := pd.async
+		m.Env.Go("wb", func(wp *sim.Proc) {
+			for _, k := range sortedKeys(async) {
+				m.Mem.Channel(k.kind, k.idx).ServeWrite(wp, async[k])
+			}
+		})
+		pd.async = map[chanKey]int{}
+	}
+	serve := func(wp *sim.Proc, j job) {
+		ch := m.Mem.Channel(j.k.kind, j.k.idx)
+		if j.write {
+			ch.ServeWrite(wp, j.n)
+		} else {
+			ch.ServeRead(wp, j.n)
+		}
+	}
+	switch len(jobs) {
+	case 0:
+	case 1:
+		serve(p, jobs[0])
+	default:
+		done := sim.NewSignal(m.Env)
+		remaining := len(jobs)
+		for _, j := range jobs {
+			j := j
+			m.Env.Go("mem", func(wp *sim.Proc) {
+				serve(wp, j)
+				remaining--
+				if remaining == 0 {
+					done.Broadcast()
+				}
+			})
+		}
+		done.Wait(p)
+	}
+	pd.reads = map[chanKey]int{}
+	pd.writes = map[chanKey]int{}
+}
+
+func sortedKeys(mm map[chanKey]int) []chanKey {
+	keys := make([]chanKey, 0, len(mm))
+	for k := range mm {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return keys[i].idx < keys[j].idx
+	})
+	return keys
+}
+
+// pendWriteBack books an asynchronous dirty write-back of line l.
+func (m *Machine) pendWriteBack(pd *pending, l cache.Line) {
+	place, ok := m.placeOfLine(l)
+	if !ok {
+		return
+	}
+	if m.Policy.Enabled() && place.Kind == knl.DDR {
+		edc := m.Mapper.CacheEDC(place.Channel, l)
+		pd.async[chanKey{knl.MCDRAM, edc}]++
+		if !m.Policy.Probe(edc, l) {
+			if victim, dirty, vok := m.Policy.Fill(edc, l); vok && dirty {
+				if vp, found := m.placeOfLine(victim); found {
+					pd.async[chanKey{knl.DDR, vp.Channel}]++
+				}
+			}
+		}
+		m.Policy.MarkDirty(edc, l)
+		return
+	}
+	pd.async[chanKey{place.Kind, place.Channel}]++
+}
+
+// pendMemRead books a batched memory read of line l, routing through the
+// MCDRAM side cache in cache/hybrid mode.
+func (m *Machine) pendMemRead(pd *pending, b memmode.Buffer, l cache.Line) {
+	place := m.placeOf(b, l)
+	if m.Policy.Enabled() && place.Kind == knl.DDR {
+		edc := m.Mapper.CacheEDC(place.Channel, l)
+		if m.Policy.Probe(edc, l) {
+			pd.reads[chanKey{knl.MCDRAM, edc}]++
+			return
+		}
+		pd.reads[chanKey{knl.DDR, place.Channel}]++
+		pd.writes[chanKey{knl.MCDRAM, edc}]++ // simultaneous cache fill
+		if victim, dirty, ok := m.Policy.Fill(edc, l); ok && dirty {
+			if vp, found := m.placeOfLine(victim); found {
+				pd.writes[chanKey{knl.DDR, vp.Channel}]++
+			}
+		}
+		return
+	}
+	pd.reads[chanKey{place.Kind, place.Channel}]++
+}
+
+// pendMemWrite books a batched memory write of line l (NT stores), routing
+// through the MCDRAM side cache in cache/hybrid mode.
+func (m *Machine) pendMemWrite(pd *pending, b memmode.Buffer, l cache.Line) {
+	place := m.placeOf(b, l)
+	if m.Policy.Enabled() && place.Kind == knl.DDR {
+		edc := m.Mapper.CacheEDC(place.Channel, l)
+		pd.writes[chanKey{knl.MCDRAM, edc}]++
+		if !m.Policy.Probe(edc, l) {
+			if victim, dirty, ok := m.Policy.Fill(edc, l); ok && dirty {
+				if vp, found := m.placeOfLine(victim); found {
+					pd.writes[chanKey{knl.DDR, vp.Channel}]++
+				}
+			}
+		}
+		m.Policy.MarkDirty(edc, l)
+		return
+	}
+	pd.writes[chanKey{place.Kind, place.Channel}]++
+}
+
+// classify peeks where a line would be found, with no side effects.
+func (m *Machine) classify(core int, l cache.Line) srcClass {
+	if m.cores[core].l1.Peek(l).Readable() {
+		return srcL1
+	}
+	tile := core / knl.CoresPerTile
+	if m.tiles[tile].l2.Peek(l).Readable() {
+		return srcTile
+	}
+	if _, _, ok := m.forwarder(l); ok {
+		return srcRemote
+	}
+	return srcMem
+}
+
+// loadLatencyEstimate computes the full protocol latency a single pipelined
+// load of line l would see, without executing the walk. Streams use it as
+// the chunk's latency bound.
+func (m *Machine) loadLatencyEstimate(core int, b memmode.Buffer, l cache.Line) float64 {
+	tile := core / knl.CoresPerTile
+	switch m.classify(core, l) {
+	case srcL1:
+		return m.P.L1HitNs
+	case srcTile:
+		switch m.tiles[tile].l2.Peek(l) {
+		case cache.Modified:
+			return m.P.L2HitMNs
+		case cache.Exclusive:
+			return m.P.L2HitENs
+		default:
+			return m.P.L2HitSFNs
+		}
+	case srcRemote:
+		place := m.placeOf(b, l)
+		fwd, st, _ := m.forwarder(l)
+		extra := m.P.OwnerExtraSFNs
+		switch st {
+		case cache.Modified:
+			extra = m.P.OwnerExtraMNs
+		case cache.Exclusive:
+			extra = m.P.OwnerExtraENs
+		}
+		return m.P.L2MissDetectNs +
+			m.Router.TileToTile(tile, place.HomeTile) + m.P.CHASvcNs +
+			m.Router.TileToTile(place.HomeTile, fwd) + extra +
+			m.Router.TileToTile(fwd, tile) + m.P.DeliverNs
+	default:
+		place := m.placeOf(b, l)
+		base := m.P.L2MissDetectNs +
+			m.Router.TileToTile(tile, place.HomeTile) +
+			m.P.CHASvcNs + m.P.DirMissNs + m.P.DeliverNs
+		if m.Policy.Enabled() && place.Kind == knl.DDR {
+			edc := m.Mapper.CacheEDC(place.Channel, l)
+			base += m.Router.TileToEDC(place.HomeTile, edc) + m.P.MCDRAMCacheTagNs
+			if m.Policy.Peek(edc, l) {
+				return base + m.Mem.MCDRAM[edc].DeviceLatencyNs() +
+					m.Router.TileToEDC(tile, edc)
+			}
+			return base + m.Router.EDCToIMC(edc, place.Channel) +
+				m.Mem.DDR[place.Channel].DeviceLatencyNs() +
+				m.Router.TileToIMC(tile, place.Channel)
+		}
+		if place.Kind == knl.DDR {
+			return base + m.Router.TileToIMC(place.HomeTile, place.Channel) +
+				m.Mem.DDR[place.Channel].DeviceLatencyNs() +
+				m.Router.TileToIMC(tile, place.Channel)
+		}
+		return base + m.Router.TileToEDC(place.HomeTile, place.Channel) +
+			m.Mem.MCDRAM[place.Channel].DeviceLatencyNs() +
+			m.Router.TileToEDC(tile, place.Channel)
+	}
+}
+
+// serialRead charges the non-overlappable cost of one pipelined line read.
+func (m *Machine) serialRead(p *sim.Proc, core int, b memmode.Buffer, l cache.Line, pd *pending) {
+	tile := core / knl.CoresPerTile
+	cs := m.cores[core]
+	if cs.l1.Lookup(l).Readable() {
+		cs.issue.Use(p, m.P.L1VecNs)
+		return
+	}
+	if st := m.tiles[tile].l2.Lookup(l); st.Readable() {
+		svc := m.P.OwnerPortSvcNs
+		if st == cache.Modified {
+			svc = m.P.OwnerPortSvcMNs
+			m.downgradeSiblingL1(tile, core, l)
+		}
+		// Bookkeeping commits before the port wait so concurrent
+		// single-line transactions never observe half-applied state.
+		cs.l1.Insert(l, cache.Shared)
+		m.tiles[tile].port.Use(p, svc)
+		return
+	}
+	if fwd, st, ok := m.forwarder(l); ok {
+		svc := m.P.OwnerPortSvcNs
+		if st == cache.Modified {
+			svc = m.P.OwnerPortSvcMNs
+		}
+		m.tiles[fwd].l2.SetState(l, cache.Shared)
+		if st == cache.Modified {
+			m.pendWriteBack(pd, l)
+		}
+		m.installL2(p, tile, l, cache.Forward)
+		cs.l1.Insert(l, cache.Forward)
+		m.tiles[fwd].port.Use(p, svc)
+		return
+	}
+	m.pendMemRead(pd, b, l)
+	newSt := cache.Exclusive
+	if m.owners(l) != 0 {
+		newSt = cache.Forward
+	}
+	m.installL2(p, tile, l, newSt)
+	cs.l1.Insert(l, newSt)
+}
+
+// serialWrite charges the non-overlappable cost of one pipelined cached
+// (write-allocate) store.
+func (m *Machine) serialWrite(p *sim.Proc, core int, b memmode.Buffer, l cache.Line, pd *pending) {
+	tile := core / knl.CoresPerTile
+	cs := m.cores[core]
+	defer m.notify(l)
+	if cs.l1.Lookup(l).Writable() {
+		cs.l1.SetState(l, cache.Modified)
+		m.tiles[tile].l2.SetState(l, cache.Modified)
+		cs.issue.Use(p, m.P.StoreSerialNs)
+		return
+	}
+	if m.tiles[tile].l2.Lookup(l).Writable() {
+		m.tiles[tile].l2.SetState(l, cache.Modified)
+		m.invalidateTileL1s(tile, l)
+		cs.l1.Insert(l, cache.Modified)
+		// Pipelined stores into the shared L2 ride the half-line write port;
+		// the occupancy is far below the read-forward service.
+		m.tiles[tile].port.Use(p, m.P.StoreSerialNs)
+		return
+	}
+	// RFO in a stream: fetch-for-ownership batched on the channels.
+	if owners := m.owners(l) &^ (1 << uint(tile)); owners != 0 {
+		m.invalidateOthers(tile, l)
+	} else {
+		m.pendMemRead(pd, b, l)
+	}
+	m.installL2(p, tile, l, cache.Modified)
+	m.invalidateTileL1s(tile, l)
+	cs.l1.Insert(l, cache.Modified)
+	p.Wait(m.P.StoreSerialNs)
+}
+
+// serialWriteNT charges one pipelined non-temporal store (invalidate any
+// copies, book the memory write; the store is posted).
+func (m *Machine) serialWriteNT(p *sim.Proc, core int, b memmode.Buffer, l cache.Line, pd *pending) {
+	defer m.notify(l)
+	if m.owners(l) != 0 {
+		m.invalidateOthers(-1, l)
+	}
+	m.pendMemWrite(pd, b, l)
+	p.Wait(m.P.StorePostNs)
+}
+
+// mlpFor picks the chunk depth from the leading line's source class.
+func (m *Machine) mlpFor(cls srcClass, vector, copyLike bool) int {
+	switch cls {
+	case srcL1, srcTile:
+		return m.P.MLPCopy
+	case srcRemote:
+		if copyLike {
+			return m.P.MLPCopy
+		}
+		if vector {
+			return m.P.MLPVecRead
+		}
+		return m.P.MLPScalarRead
+	default: // memory
+		if vector || copyLike {
+			return m.P.MLPMem
+		}
+		return m.P.MLPMem / 2
+	}
+}
+
+// topUp ensures the chunk took at least its latency bound.
+func (m *Machine) topUp(p *sim.Proc, start, lat float64) {
+	if el := m.Env.Now() - start; el < lat {
+		p.Wait(m.jitter(lat - el))
+	}
+}
+
+// streamRead reads n lines of b starting at line index from.
+func (m *Machine) streamRead(p *sim.Proc, core int, b memmode.Buffer, from, n int, vector bool) {
+	end := from + n
+	i := from
+	pd := newPending()
+	for i < end {
+		first := b.Line(i)
+		cls := m.classify(core, first)
+		lat := m.loadLatencyEstimate(core, b, first)
+		chunkEnd := i + m.mlpFor(cls, vector, false)
+		if chunkEnd > end {
+			chunkEnd = end
+		}
+		start := m.Env.Now()
+		for j := i; j < chunkEnd; j++ {
+			m.serialRead(p, core, b, b.Line(j), pd)
+		}
+		pd.flush(m, p)
+		m.topUp(p, start, lat)
+		i = chunkEnd
+	}
+}
+
+// streamWrite writes n lines of b starting at from. NT stores bypass the
+// cache hierarchy; cached stores write-allocate (read-for-ownership plus an
+// eventual write-back), which is why the paper needs NT hints to approach
+// peak bandwidth.
+func (m *Machine) streamWrite(p *sim.Proc, core int, b memmode.Buffer, from, n int, nt bool) {
+	end := from + n
+	i := from
+	pd := newPending()
+	for i < end {
+		chunkEnd := i + m.P.MLPMem
+		if chunkEnd > end {
+			chunkEnd = end
+		}
+		// NT chunks retire once the write-combining buffers drain; cached
+		// (write-allocate) chunks cannot retire before the RFO fetch of
+		// their lines returns — the reason the paper needs NT hints to
+		// approach peak.
+		lat := m.writeDrainLatency(b)
+		if !nt {
+			if rfo := m.loadLatencyEstimate(core, b, b.Line(i)); rfo > lat {
+				lat = rfo
+			}
+		}
+		start := m.Env.Now()
+		for j := i; j < chunkEnd; j++ {
+			if nt {
+				m.serialWriteNT(p, core, b, b.Line(j), pd)
+			} else {
+				m.serialWrite(p, core, b, b.Line(j), pd)
+			}
+		}
+		pd.flush(m, p)
+		m.topUp(p, start, lat)
+		i = chunkEnd
+	}
+}
+
+func (m *Machine) writeDrainLatency(b memmode.Buffer) float64 {
+	kind := b.Kind
+	if m.Policy.Enabled() && kind == knl.DDR {
+		kind = knl.MCDRAM // writes land in the side cache
+	}
+	var dev float64
+	if kind == knl.DDR {
+		dev = m.Mem.DDR[0].DeviceLatencyNs()
+	} else {
+		dev = m.Mem.MCDRAM[0].DeviceLatencyNs()
+	}
+	return dev + 20 // device plus average mesh traversal
+}
+
+// streamCopy copies n lines from src (starting srcFrom) to dst (dstFrom).
+func (m *Machine) streamCopy(p *sim.Proc, core int, dst, src memmode.Buffer, dstFrom, srcFrom, n int, nt bool) {
+	i := 0
+	pd := newPending()
+	for i < n {
+		first := src.Line(srcFrom + i)
+		cls := m.classify(core, first)
+		lat := m.loadLatencyEstimate(core, src, first)
+		chunk := m.mlpFor(cls, true, true)
+		if i+chunk > n {
+			chunk = n - i
+		}
+		start := m.Env.Now()
+		for j := 0; j < chunk; j++ {
+			m.serialRead(p, core, src, src.Line(srcFrom+i+j), pd)
+		}
+		for j := 0; j < chunk; j++ {
+			if nt {
+				m.serialWriteNT(p, core, dst, dst.Line(dstFrom+i+j), pd)
+			} else {
+				m.serialWrite(p, core, dst, dst.Line(dstFrom+i+j), pd)
+			}
+		}
+		pd.flush(m, p)
+		m.topUp(p, start, lat)
+		i += chunk
+	}
+}
+
+// streamTriad performs dst[i] = b[i] + s*c[i] over n lines of each operand.
+func (m *Machine) streamTriad(p *sim.Proc, core int, dst, b, c memmode.Buffer, n int, nt bool) {
+	i := 0
+	pd := newPending()
+	for i < n {
+		first := b.Line(i)
+		cls := m.classify(core, first)
+		lat := m.loadLatencyEstimate(core, b, first)
+		chunk := m.mlpFor(cls, true, true)
+		if i+chunk > n {
+			chunk = n - i
+		}
+		start := m.Env.Now()
+		for j := 0; j < chunk; j++ {
+			m.serialRead(p, core, b, b.Line(i+j), pd)
+			m.serialRead(p, core, c, c.Line(i+j), pd)
+		}
+		for j := 0; j < chunk; j++ {
+			if nt {
+				m.serialWriteNT(p, core, dst, dst.Line(i+j), pd)
+			} else {
+				m.serialWrite(p, core, dst, dst.Line(i+j), pd)
+			}
+		}
+		pd.flush(m, p)
+		m.topUp(p, start, lat)
+		i += chunk
+	}
+}

@@ -1,0 +1,56 @@
+package machine
+
+import "knlcap/internal/cache"
+
+// OpKind labels a traced operation.
+type OpKind uint8
+
+const (
+	OpLoad OpKind = iota
+	OpStore
+	OpStoreNT
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpStoreNT:
+		return "store-nt"
+	default:
+		return "op"
+	}
+}
+
+// OpRecord describes one completed single-line operation.
+type OpRecord struct {
+	Start, End float64 // simulated ns
+	Core       int
+	Kind       OpKind
+	// Source classifies where a load found its data ("L1", "tile",
+	// "remote", "mem"); empty for stores.
+	Source string
+	Line   cache.Line
+}
+
+// Latency returns the operation's duration.
+func (r OpRecord) Latency() float64 { return r.End - r.Start }
+
+// Tracer receives operation records. Implementations must be cheap: the
+// machine calls Record inline.
+type Tracer interface {
+	Record(OpRecord)
+}
+
+// SetTracer installs (or, with nil, removes) an operation tracer. Only
+// single-line operations are traced; streams would flood the trace and are
+// observable through the channel counters instead.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+func (m *Machine) trace(r OpRecord) {
+	if m.tracer != nil {
+		m.tracer.Record(r)
+	}
+}

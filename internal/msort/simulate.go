@@ -1,0 +1,184 @@
+package msort
+
+import (
+	"math"
+
+	"knlcap/internal/core"
+	"knlcap/internal/knl"
+	"knlcap/internal/machine"
+	"knlcap/internal/stats"
+)
+
+// SimParams configure a simulated sort run (the "measured" curves of
+// Figure 10).
+type SimParams struct {
+	// TotalLines is the input size in cache lines.
+	TotalLines int
+	// Threads is the requested thread count (rounded to a power of two).
+	Threads int
+	// Kind places the ping-pong buffers (the paper's DRAM-vs-MCDRAM study).
+	Kind knl.MemKind
+	// Schedule pins threads (the paper's Figure 10 uses compact filling).
+	Schedule knl.Schedule
+	// BitonicNsPerLine is the compute cost of one network application.
+	BitonicNsPerLine float64
+	// LevelOverheadNs models per-merge-task software overhead (recursion,
+	// task dispatch, false sharing) paid by each active thread per level —
+	// the source of the paper's overhead-dominated regime at small sizes.
+	LevelOverheadNs float64
+}
+
+// DefaultSimParams returns the Figure 10 configuration.
+func DefaultSimParams(totalLines, threads int, kind knl.MemKind) SimParams {
+	return SimParams{
+		TotalLines:       totalLines,
+		Threads:          threads,
+		Kind:             kind,
+		Schedule:         knl.Compact,
+		BitonicNsPerLine: 6,
+		LevelOverheadNs:  350,
+	}
+}
+
+// Simulate replays the parallel merge sort's memory traffic on the
+// simulated machine and returns the completion time in nanoseconds.
+func Simulate(cfg knl.Config, p SimParams) float64 {
+	m := machine.New(cfg)
+	threads := effectiveThreads(p.TotalLines*16, p.Threads)
+	places := knl.Pin(p.Schedule, m.NumTiles(), threads)
+
+	kind := p.Kind
+	if cfg.Memory != knl.Flat && kind == knl.MCDRAM {
+		kind = knl.DDR
+	}
+	ping := m.Alloc.MustAlloc(kind, 0, int64(p.TotalLines)*knl.LineSize)
+	pong := m.Alloc.MustAlloc(kind, 0, int64(p.TotalLines)*knl.LineSize)
+	// Per-thread, per-stage completion flags.
+	maxStages := int(math.Log2(float64(threads))) + 2
+	flagBuf := m.Alloc.MustAlloc(knl.DDR, 0, int64(threads*maxStages)*knl.LineSize)
+	flagIdx := func(rank, stage int) int { return rank*maxStages + stage }
+
+	chunk := p.TotalLines / threads
+	if chunk < 1 {
+		chunk = 1
+	}
+	var finish float64
+	for r, pl := range places {
+		r := r
+		m.Spawn(pl, func(th *machine.Thread) {
+			cur, other := ping, pong
+			lo := r * chunk
+			// Phase 1: local sort. One pass per merge level over the
+			// thread's chunk: read the current buffer, write the other.
+			levels := int(math.Log2(float64(chunk))) + 1
+			for lvl := 0; lvl < levels; lvl++ {
+				th.Compute(p.LevelOverheadNs)
+				th.ReadStreamRange(cur, lo, chunk, true)
+				th.WriteStreamRange(other, lo, chunk, false)
+				th.Compute(p.BitonicNsPerLine * float64(chunk))
+				cur, other = other, cur
+			}
+			th.StoreWord(flagBuf, flagIdx(r, 0), 1)
+
+			// Phase 2: merge tree; active threads halve per stage.
+			width := 1
+			out := chunk * 2
+			for stage := 1; width < threads; stage++ {
+				if r%(2*width) == 0 {
+					partner := r + width
+					th.WaitWordGE(flagBuf, flagIdx(partner, stage-1), 1)
+					th.Compute(p.LevelOverheadNs)
+					myLo := r * chunk
+					span := out
+					if myLo+span > p.TotalLines {
+						span = p.TotalLines - myLo
+					}
+					th.ReadStreamRange(cur, myLo, span, true)
+					th.WriteStreamRange(other, myLo, span, false)
+					th.Compute(p.BitonicNsPerLine * float64(span))
+					th.StoreWord(flagBuf, flagIdx(r, stage), 1)
+				} else if r%(2*width) == width {
+					// This thread retires after handing its chunk over.
+					th.StoreWord(flagBuf, flagIdx(r, stage-1), 1)
+					break
+				}
+				cur, other = other, cur
+				width *= 2
+				out *= 2
+			}
+			if at := th.Now(); at > finish {
+				finish = at
+			}
+		})
+	}
+	if _, err := m.Run(); err != nil {
+		panic(err)
+	}
+	return finish
+}
+
+// FitOverhead fits the paper's overhead model: simulate 1 KB sorts across
+// thread counts, subtract the bandwidth-variant memory model, and regress
+// the residual linearly in the thread count (Section V-B.2).
+func FitOverhead(cfg knl.Config, model *core.Model, kind knl.MemKind,
+	threadCounts []int) core.OverheadModel {
+	if len(threadCounts) == 0 {
+		threadCounts = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	const lines = 16 // 1 KB of int32
+	var xs, ys []float64
+	for _, tc := range threadCounts {
+		sp := DefaultSimParams(lines, tc, kind)
+		measured := Simulate(cfg, sp)
+		mp := core.DefaultSortParams(model, lines, effectiveThreads(lines*16, tc), kind)
+		mem := model.SortCost(mp, true)
+		resid := measured - mem
+		if resid < 0 {
+			resid = 0
+		}
+		xs = append(xs, float64(tc))
+		ys = append(ys, resid)
+	}
+	fit, err := stats.LinReg(xs, ys)
+	if err != nil {
+		return core.OverheadModel{}
+	}
+	return core.OverheadModel{Alpha: fit.Alpha, Beta: fit.Beta}
+}
+
+// Figure10Point is one x-position of one Figure 10 panel.
+type Figure10Point struct {
+	Threads    int
+	MeasuredNs float64
+	MemLatNs   float64 // memory model, latency variant
+	MemBWNs    float64 // memory model, bandwidth variant
+	FullLatNs  float64 // + overhead model
+	FullBWNs   float64
+	OverCutoff bool // overhead > 10% of the memory model
+}
+
+// Figure10 regenerates one panel: the simulated sort and the four model
+// curves across thread counts for a given input size and memory kind.
+func Figure10(cfg knl.Config, model *core.Model, oh core.OverheadModel,
+	totalLines int, kind knl.MemKind, threadCounts []int) []Figure10Point {
+	if len(threadCounts) == 0 {
+		threadCounts = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	}
+	var out []Figure10Point
+	for _, tc := range threadCounts {
+		eff := effectiveThreads(totalLines*16, tc)
+		sp := DefaultSimParams(totalLines, tc, kind)
+		mp := core.DefaultSortParams(model, totalLines, eff, kind)
+		pt := Figure10Point{
+			Threads:    tc,
+			MeasuredNs: Simulate(cfg, sp),
+			MemLatNs:   model.SortCost(mp, false),
+			MemBWNs:    model.SortCost(mp, true),
+			FullLatNs:  model.FullSortCost(mp, oh, false),
+			FullBWNs:   model.FullSortCost(mp, oh, true),
+			OverCutoff: model.EfficiencyCutoff(mp, oh),
+		}
+		out = append(out, pt)
+	}
+	return out
+}

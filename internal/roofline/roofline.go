@@ -1,0 +1,100 @@
+// Package roofline implements the classic roofline model for KNL, the
+// comparison point of the paper's related-work discussion (Doerfler et
+// al.): attainable performance = min(compute roof, arithmetic intensity x
+// memory roof). The paper's critique — "it does not provide a framework to
+// optimize algorithms" — becomes executable here: the roofline predicts a
+// ~5x MCDRAM speedup for any memory-bound kernel, while the capability
+// model (and the simulator) show the merge sort gains nothing because the
+// roofline has no notion of active thread count, latency-bound phases or
+// synchronization.
+package roofline
+
+import "knlcap/internal/knl"
+
+// Model is a two-roof roofline: one compute ceiling and one bandwidth
+// ceiling per memory technology.
+type Model struct {
+	// PeakGflops is the compute roof (double precision).
+	PeakGflops float64
+	// PeakGBs are the memory roofs.
+	PeakGBs map[knl.MemKind]float64
+}
+
+// ForKNL returns the published rooflines of the Xeon Phi 7210: ~2.6 TF/s
+// double precision (64 cores x 1.3 GHz x 2 VPUs x 8 DP lanes x 2 FMA) and
+// the STREAM-measured bandwidth roofs.
+func ForKNL() Model {
+	return Model{
+		PeakGflops: 2662,
+		PeakGBs: map[knl.MemKind]float64{
+			knl.DDR:    82,
+			knl.MCDRAM: 448,
+		},
+	}
+}
+
+// Attainable returns the roofline-attainable GFLOP/s at arithmetic
+// intensity ai (flops/byte) against the given memory roof.
+func (m Model) Attainable(ai float64, kind knl.MemKind) float64 {
+	bw := m.PeakGBs[kind]
+	mem := ai * bw
+	if mem < m.PeakGflops {
+		return mem
+	}
+	return m.PeakGflops
+}
+
+// Ridge returns the arithmetic intensity (flops/byte) at which a kernel
+// stops being memory-bound on the given technology.
+func (m Model) Ridge(kind knl.MemKind) float64 {
+	bw := m.PeakGBs[kind]
+	if bw == 0 {
+		return 0
+	}
+	return m.PeakGflops / bw
+}
+
+// MemoryBound reports whether a kernel of the given intensity is under the
+// memory roof.
+func (m Model) MemoryBound(ai float64, kind knl.MemKind) bool {
+	return ai < m.Ridge(kind)
+}
+
+// KernelTimeNs is the roofline's runtime prediction for a kernel moving
+// `bytes` and executing `flops`: max(bytes/roof, flops/computeRoof).
+// Note what is missing — threads, latency, synchronization — which is
+// exactly why the roofline misjudges the merge sort.
+func (m Model) KernelTimeNs(bytes, flops float64, kind knl.MemKind) float64 {
+	memTime := bytes / m.PeakGBs[kind]
+	cmpTime := flops / m.PeakGflops
+	if memTime > cmpTime {
+		return memTime
+	}
+	return cmpTime
+}
+
+// PredictedMCDRAMGain is the roofline's speedup prediction for moving a
+// memory-bound kernel from DDR to MCDRAM — always the bandwidth ratio,
+// regardless of the kernel's thread-level behaviour.
+func (m Model) PredictedMCDRAMGain(ai float64) float64 {
+	if !m.MemoryBound(ai, knl.MCDRAM) {
+		// Compute-bound on both: no gain.
+		if !m.MemoryBound(ai, knl.DDR) {
+			return 1
+		}
+		// Memory-bound on DDR only.
+		return m.PeakGflops / (ai * m.PeakGBs[knl.DDR])
+	}
+	return m.PeakGBs[knl.MCDRAM] / m.PeakGBs[knl.DDR]
+}
+
+// SortIntensity is the merge sort's arithmetic intensity: per element per
+// merge level, 2x4 bytes move (read+write) against ~2 comparison "flops";
+// over log2(n) levels the ratio stays constant at ~0.25 flops/byte —
+// deeply memory-bound, which is why the roofline predicts MCDRAM should
+// shine on it.
+const SortIntensity = 0.25
+
+// TriadIntensity is STREAM triad's intensity: 2 flops (mul+add) per 24
+// moved bytes.
+const TriadIntensity = 2.0 / 24

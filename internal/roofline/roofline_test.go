@@ -1,0 +1,104 @@
+package roofline
+
+import (
+	"testing"
+
+	"knlcap/internal/core"
+	"knlcap/internal/knl"
+	"knlcap/internal/msort"
+)
+
+func TestAttainableShape(t *testing.T) {
+	m := ForKNL()
+	// Low intensity: memory-bound, scales with AI.
+	lo := m.Attainable(0.1, knl.DDR)
+	if diff := lo - 0.1*82; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("low-AI attainable = %v, want %v", lo, 0.1*82)
+	}
+	// Very high intensity: clamped at the compute roof.
+	if hi := m.Attainable(1000, knl.DDR); hi != m.PeakGflops {
+		t.Errorf("high-AI attainable = %v, want compute roof %v", hi, m.PeakGflops)
+	}
+	// Monotone in AI.
+	prev := 0.0
+	for ai := 0.01; ai < 100; ai *= 2 {
+		v := m.Attainable(ai, knl.MCDRAM)
+		if v < prev {
+			t.Fatalf("attainable not monotone at ai=%v", ai)
+		}
+		prev = v
+	}
+}
+
+func TestRidgePoints(t *testing.T) {
+	m := ForKNL()
+	rd := m.Ridge(knl.DDR)
+	rm := m.Ridge(knl.MCDRAM)
+	if rd <= rm {
+		t.Errorf("DDR ridge (%v) should exceed MCDRAM ridge (%v)", rd, rm)
+	}
+	// KNL's published MCDRAM ridge is ~6 flops/byte.
+	if rm < 4 || rm > 8 {
+		t.Errorf("MCDRAM ridge = %v, want ~6", rm)
+	}
+	if !m.MemoryBound(SortIntensity, knl.DDR) || !m.MemoryBound(TriadIntensity, knl.MCDRAM) {
+		t.Error("sort and triad must be memory-bound under the roofline")
+	}
+}
+
+func TestKernelTime(t *testing.T) {
+	m := ForKNL()
+	// Pure streaming: time = bytes / roof.
+	if got := m.KernelTimeNs(448, 0, knl.MCDRAM); got != 1 {
+		t.Errorf("448 bytes on MCDRAM = %v ns, want 1", got)
+	}
+	// Compute-heavy: time = flops / compute roof.
+	if got := m.KernelTimeNs(1, 2662, knl.DDR); got != 1 {
+		t.Errorf("2662 flops = %v ns, want 1", got)
+	}
+}
+
+// TestRooflineMisjudgesSort is the executable form of the paper's
+// related-work critique: for the merge sort the roofline predicts the full
+// ~5.5x MCDRAM gain (it is memory-bound at AI 0.25), while the capability
+// model and the simulator both show a negligible gain.
+func TestRooflineMisjudgesSort(t *testing.T) {
+	roof := ForKNL()
+	rooflineGain := roof.PredictedMCDRAMGain(SortIntensity)
+	if rooflineGain < 4 {
+		t.Fatalf("roofline MCDRAM gain for sort = %.1fx, expected ~5.5x", rooflineGain)
+	}
+
+	model := core.Default()
+	lines := (16 << 20) / knl.LineSize
+	capGain := model.SortCost(core.DefaultSortParams(model, lines, 64, knl.DDR), true) /
+		model.SortCost(core.DefaultSortParams(model, lines, 64, knl.MCDRAM), true)
+	if capGain > 1.3 {
+		t.Errorf("capability-model MCDRAM gain = %.2fx, want ~1x", capGain)
+	}
+
+	cfg := knl.DefaultConfig()
+	simGain := msort.Simulate(cfg, msort.DefaultSimParams(16384, 32, knl.DDR)) /
+		msort.Simulate(cfg, msort.DefaultSimParams(16384, 32, knl.MCDRAM))
+	if simGain > 1.3 {
+		t.Errorf("simulated MCDRAM gain = %.2fx, want ~1x", simGain)
+	}
+
+	if rooflineGain < 3*capGain {
+		t.Errorf("the critique should show: roofline %.1fx vs capability %.2fx", rooflineGain, capGain)
+	}
+}
+
+// TestRooflineRightForTriad shows the flip side: for a saturated triad the
+// roofline's bandwidth-ratio prediction is about right, and the capability
+// model agrees.
+func TestRooflineRightForTriad(t *testing.T) {
+	roof := ForKNL()
+	rooflineGain := roof.PredictedMCDRAMGain(TriadIntensity)
+	model := core.Default()
+	capGain := model.AchievableBW(knl.MCDRAM, 256) / model.AchievableBW(knl.DDR, 256)
+	if rooflineGain < capGain*0.7 || rooflineGain > capGain*1.5 {
+		t.Errorf("triad: roofline %.1fx vs capability %.1fx should roughly agree",
+			rooflineGain, capGain)
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+// Resource is a FIFO-queued resource with integer capacity, used to model
+// serializing hardware structures: a CHA tag-directory pipeline, a tile's L2
+// port, a memory-channel slot. Acquire blocks when the resource is full;
+// Release hands the slot to the longest-waiting process.
+//
+// The 1:N contention behaviour the paper measures (T_C(N) = α + β·N) emerges
+// from FIFO queueing on these resources, not from an explicit formula.
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+	// Stats
+	acquires   uint64
+	maxQueue   int
+	busyTime   Time
+	lastChange Time
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func NewResource(env *Env, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: env, name: name, capacity: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire obtains one slot, blocking the calling process in FIFO order while
+// the resource is full.
+func (r *Resource) Acquire(p *Proc) {
+	r.acquires++
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.accountBusy()
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	if len(r.waiters) > r.maxQueue {
+		r.maxQueue = len(r.waiters)
+	}
+	p.block()
+	// When resumed, the slot has already been transferred by Release.
+}
+
+// TryAcquire obtains a slot without blocking; it reports whether it succeeded.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.accountBusy()
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release frees one slot. If processes are waiting, the head of the queue is
+// resumed at the current simulated time and inherits the slot.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of idle resource " + r.name)
+	}
+	r.accountBusy()
+	if len(r.waiters) > 0 {
+		head := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		// Slot transfers directly: inUse stays the same.
+		r.env.unblock(head)
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires the resource, advances simulated time by d, and releases it.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Wait(d)
+	r.Release()
+}
+
+// InUse returns the number of slots currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes currently waiting.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquires returns the total number of Acquire/TryAcquire-success calls.
+func (r *Resource) Acquires() uint64 { return r.acquires }
+
+// MaxQueue returns the maximum observed queue length.
+func (r *Resource) MaxQueue() int { return r.maxQueue }
+
+// Utilization returns the fraction of simulated time (up to now) during
+// which at least one slot was held.
+func (r *Resource) Utilization() float64 {
+	r.accountBusy()
+	if r.env.now == 0 {
+		return 0
+	}
+	return float64(r.busyTime) / float64(r.env.now)
+}
+
+func (r *Resource) accountBusy() {
+	if r.inUse > 0 {
+		r.busyTime += r.env.now - r.lastChange
+	}
+	r.lastChange = r.env.now
+}

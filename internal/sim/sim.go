@@ -1,0 +1,194 @@
+// Package sim is a small deterministic discrete-event simulation engine.
+//
+// Simulated threads of execution are modeled as processes: ordinary Go
+// functions running on goroutines, of which exactly one executes at any
+// moment. A process advances simulated time with Wait, serializes on shared
+// hardware structures with Resource, and blocks on state changes with Signal.
+// Events that fire at the same timestamp are executed in FIFO scheduling
+// order, so runs are exactly reproducible.
+//
+// Time is in nanoseconds (float64), matching the units of the capability
+// model in the paper.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds.
+type Time = float64
+
+// event is a scheduled resumption of a process.
+type event struct {
+	at   Time
+	seq  uint64 // FIFO tie-break for equal timestamps
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a simulation environment: an event queue, a clock, and the set of
+// live processes. An Env must not be shared across goroutines other than
+// through its own process mechanism.
+type Env struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	sched   chan schedMsg
+	live    int // processes spawned and not yet finished
+	blocked int // processes waiting on a Signal or Resource (no event queued)
+}
+
+type schedMsg struct {
+	finished bool
+}
+
+// NewEnv returns an empty simulation at time 0.
+func NewEnv() *Env {
+	return &Env{sched: make(chan schedMsg)}
+}
+
+// Now returns the current simulated time.
+func (e *Env) Now() Time { return e.now }
+
+// Live returns the number of processes that have been spawned and not yet
+// finished.
+func (e *Env) Live() int { return e.live }
+
+// Blocked returns the number of processes currently blocked with no pending
+// event (waiting on a Signal or a Resource).
+func (e *Env) Blocked() int { return e.blocked }
+
+// Proc is a simulated process. All Proc methods must be called from within
+// the process's own function.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Go spawns fn as a new process starting at the current simulated time.
+// It may be called before Run or from within a running process.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	return e.GoAt(e.now, name, fn)
+}
+
+// GoAt spawns fn as a new process whose first instruction executes at time
+// at (which must be >= Now).
+func (e *Env) GoAt(at Time, name string, fn func(p *Proc)) *Proc {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: GoAt(%v) in the past (now %v)", at, e.now))
+	}
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.resume
+		fn(p)
+		e.sched <- schedMsg{finished: true}
+	}()
+	e.schedule(p, at)
+	return p
+}
+
+// schedule queues a resumption of p at time at.
+func (e *Env) schedule(p *Proc, at Time) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+}
+
+// yield transfers control from the running process back to the scheduler and
+// blocks until the process is resumed by its next event.
+func (p *Proc) yield() {
+	p.env.sched <- schedMsg{}
+	<-p.resume
+}
+
+// Wait advances the process by d nanoseconds of simulated time.
+// Negative d panics. Wait(0) yields to other processes scheduled at the
+// same instant that were enqueued earlier.
+func (p *Proc) Wait(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Wait(%v) negative", d))
+	}
+	p.env.schedule(p, p.env.now+d)
+	p.yield()
+}
+
+// WaitUntil advances the process to absolute time t (>= Now).
+func (p *Proc) WaitUntil(t Time) {
+	if t < p.env.now {
+		panic(fmt.Sprintf("sim: WaitUntil(%v) in the past (now %v)", t, p.env.now))
+	}
+	p.env.schedule(p, t)
+	p.yield()
+}
+
+// block parks the process with no scheduled event; something else must call
+// env.schedule(p, ...) to resume it. Used by Resource and Signal.
+func (p *Proc) block() {
+	p.env.blocked++
+	p.env.sched <- schedMsg{}
+	<-p.resume
+}
+
+// unblock schedules a blocked process to resume at the current time.
+func (e *Env) unblock(p *Proc) {
+	e.blocked--
+	e.schedule(p, e.now)
+}
+
+// Run executes events until the queue is empty, then returns the final
+// simulated time. If processes remain blocked on Signals or Resources when
+// the queue drains, Run returns ErrDeadlock (the usual cause is a collective
+// algorithm bug: a flag that is polled but never set).
+func (e *Env) Run() (Time, error) {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		ev.proc.resume <- struct{}{}
+		msg := <-e.sched
+		if msg.finished {
+			e.live--
+		}
+	}
+	if e.blocked > 0 {
+		return e.now, fmt.Errorf("sim: deadlock: %w (%d blocked, %d live)",
+			ErrDeadlock, e.blocked, e.live)
+	}
+	return e.now, nil
+}
+
+// ErrDeadlock reports that the event queue drained while processes were
+// still blocked.
+var ErrDeadlock = errDeadlock{}
+
+type errDeadlock struct{}
+
+func (errDeadlock) Error() string { return "blocked processes remain" }

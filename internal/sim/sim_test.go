@@ -1,0 +1,391 @@
+package sim
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestWaitAdvancesTime(t *testing.T) {
+	env := NewEnv()
+	var at Time
+	env.Go("a", func(p *Proc) {
+		p.Wait(10)
+		p.Wait(5.5)
+		at = env.Now()
+	})
+	end, err := env.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 15.5 || end != 15.5 {
+		t.Errorf("time = %v / end %v, want 15.5", at, end)
+	}
+}
+
+func TestFIFOOrderAtSameTime(t *testing.T) {
+	env := NewEnv()
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		env.Go(name, func(p *Proc) {
+			p.Wait(7)
+			order = append(order, name)
+		})
+	}
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("order = %v, want [a b c]", order)
+	}
+}
+
+func TestGoAtAndWaitUntil(t *testing.T) {
+	env := NewEnv()
+	var times []Time
+	env.GoAt(100, "late", func(p *Proc) { times = append(times, env.Now()) })
+	env.Go("early", func(p *Proc) {
+		p.WaitUntil(50)
+		times = append(times, env.Now())
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != 50 || times[1] != 100 {
+		t.Errorf("times = %v, want [50 100]", times)
+	}
+}
+
+func TestNegativeWaitPanics(t *testing.T) {
+	env := NewEnv()
+	env.Go("bad", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Wait(-1) did not panic")
+			}
+			// Re-panic replacement: finish cleanly so Run terminates.
+		}()
+		p.Wait(-1)
+	})
+	env.Run()
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	env := NewEnv()
+	var childTime Time
+	env.Go("parent", func(p *Proc) {
+		p.Wait(10)
+		env.Go("child", func(c *Proc) {
+			c.Wait(5)
+			childTime = env.Now()
+		})
+		p.Wait(100)
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != 15 {
+		t.Errorf("child finished at %v, want 15", childTime)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, "cha", 1)
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		env.Go("t", func(p *Proc) {
+			res.Use(p, 10)
+			finish = append(finish, env.Now())
+		})
+	}
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 20, 30, 40}
+	for i, w := range want {
+		if finish[i] != w {
+			t.Errorf("finish[%d] = %v, want %v", i, finish[i], w)
+		}
+	}
+}
+
+func TestResourceCapacity2(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, "port", 2)
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		env.Go("t", func(p *Proc) {
+			res.Use(p, 10)
+			finish = append(finish, env.Now())
+		})
+	}
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 10, 20, 20}
+	for i, w := range want {
+		if finish[i] != w {
+			t.Errorf("finish[%d] = %v, want %v", i, finish[i], w)
+		}
+	}
+}
+
+func TestResourceFIFOFairness(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, "r", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		env.GoAt(Time(i), "t", func(p *Proc) {
+			res.Acquire(p)
+			p.Wait(100)
+			order = append(order, i)
+			res.Release()
+		})
+	}
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Errorf("service order %v not FIFO", order)
+			break
+		}
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, "r", 1)
+	env.Go("t", func(p *Proc) {
+		if !res.TryAcquire() {
+			t.Error("first TryAcquire failed")
+		}
+		if res.TryAcquire() {
+			t.Error("second TryAcquire succeeded on full resource")
+		}
+		res.Release()
+		if !res.TryAcquire() {
+			t.Error("TryAcquire after release failed")
+		}
+		res.Release()
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, "r", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Release of idle resource did not panic")
+		}
+	}()
+	res.Release()
+}
+
+func TestResourceUtilization(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, "r", 1)
+	env.Go("t", func(p *Proc) {
+		p.Wait(50)
+		res.Use(p, 50)
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u := res.Utilization(); u < 0.49 || u > 0.51 {
+		t.Errorf("utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	env := NewEnv()
+	sig := NewSignal(env)
+	var woke []Time
+	for i := 0; i < 3; i++ {
+		env.Go("waiter", func(p *Proc) {
+			sig.Wait(p)
+			woke = append(woke, env.Now())
+		})
+	}
+	env.Go("setter", func(p *Proc) {
+		p.Wait(42)
+		sig.Broadcast()
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 3 {
+		t.Fatalf("woke %d waiters, want 3", len(woke))
+	}
+	for _, w := range woke {
+		if w != 42 {
+			t.Errorf("waiter woke at %v, want 42", w)
+		}
+	}
+}
+
+func TestSignalVersioning(t *testing.T) {
+	env := NewEnv()
+	sig := NewSignal(env)
+	var got uint64
+	env.Go("waiter", func(p *Proc) {
+		got = sig.WaitVersion(p, 1) // must see at least version 2
+	})
+	env.Go("setter", func(p *Proc) {
+		p.Wait(1)
+		sig.Broadcast()
+		p.Wait(1)
+		sig.Broadcast()
+	})
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("WaitVersion returned %d, want 2", got)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	env := NewEnv()
+	sig := NewSignal(env)
+	env.Go("stuck", func(p *Proc) { sig.Wait(p) })
+	_, err := env.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Errorf("err = %v, want ErrDeadlock", err)
+	}
+	if env.Blocked() != 1 {
+		t.Errorf("Blocked = %d, want 1", env.Blocked())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		env := NewEnv()
+		res := NewResource(env, "r", 2)
+		sig := NewSignal(env)
+		var log []Time
+		for i := 0; i < 8; i++ {
+			i := i
+			env.GoAt(Time(i%3), "w", func(p *Proc) {
+				res.Use(p, Time(5+i))
+				log = append(log, env.Now())
+				if i == 7 {
+					sig.Broadcast()
+				} else if i < 3 {
+					sig.Wait(p)
+					log = append(log, env.Now())
+				}
+			})
+		}
+		env.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for capacity-1 resources, total completion time of n jobs of
+// duration d is exactly n*d regardless of spawn pattern (work conservation).
+func TestResourceWorkConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 1 + int(seed%10)
+		env := NewEnv()
+		res := NewResource(env, "r", 1)
+		for i := 0; i < n; i++ {
+			env.GoAt(Time(seed%3), "t", func(p *Proc) { res.Use(p, 10) })
+		}
+		end, err := env.Run()
+		return err == nil && end == Time(seed%3)+Time(n)*10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManyProcessesStress(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, "r", 4)
+	var count atomic.Int64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		env.Go("t", func(p *Proc) {
+			for j := 0; j < 5; j++ {
+				res.Use(p, 1)
+			}
+			count.Add(1)
+		})
+	}
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != n {
+		t.Errorf("finished %d, want %d", count.Load(), n)
+	}
+	if env.Live() != 0 {
+		t.Errorf("Live = %d, want 0", env.Live())
+	}
+	// 10000 unit-time jobs over capacity 4 => 2500 time units.
+	if env.Now() != 2500 {
+		t.Errorf("end time = %v, want 2500", env.Now())
+	}
+}
+
+// Engine micro-benchmarks: the scheduler handoff and resource costs bound
+// how large a simulated experiment can be.
+func BenchmarkProcessHandoff(b *testing.B) {
+	env := NewEnv()
+	env.Go("w", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(1)
+		}
+	})
+	b.ResetTimer()
+	if _, err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkResourceUse(b *testing.B) {
+	env := NewEnv()
+	res := NewResource(env, "r", 1)
+	env.Go("w", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			res.Use(p, 1)
+		}
+	})
+	b.ResetTimer()
+	if _, err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkContendedResource(b *testing.B) {
+	env := NewEnv()
+	res := NewResource(env, "r", 1)
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		env.Go("w", func(p *Proc) {
+			for i := 0; i < b.N/workers; i++ {
+				res.Use(p, 1)
+			}
+		})
+	}
+	b.ResetTimer()
+	if _, err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over a closed range; samples outside
+// the range are counted in the under/overflow bins. Benchmarks use it to
+// inspect latency distributions (e.g. the per-state bands of Figure 4).
+type Histogram struct {
+	lo, hi    float64
+	bins      []uint64
+	underflow uint64
+	overflow  uint64
+	count     uint64
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 || !(hi > lo) {
+		panic("stats: bad histogram geometry")
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]uint64, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.count++
+	switch {
+	case math.IsNaN(v):
+		h.overflow++ // NaNs are reported as overflow rather than lost
+	case v < h.lo:
+		h.underflow++
+	case v >= h.hi:
+		h.overflow++
+	default:
+		i := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+		if i == len(h.bins) { // guard the hi-boundary rounding case
+			i--
+		}
+		h.bins[i]++
+	}
+}
+
+// AddAll records every sample of xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Count returns the total number of samples recorded.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Bin returns the count and [lo, hi) bounds of bin i.
+func (h *Histogram) Bin(i int) (count uint64, lo, hi float64) {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.bins[i], h.lo + float64(i)*w, h.lo + float64(i+1)*w
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// OutOfRange returns the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over uint64) {
+	return h.underflow, h.overflow
+}
+
+// Mode returns the midpoint of the most populated bin (ties: lowest bin).
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.bins {
+		if c > h.bins[best] {
+			best = i
+		}
+	}
+	_, lo, hi := h.Bin(best)
+	return (lo + hi) / 2
+}
+
+// Quantile approximates the q-quantile (0..1) by linear interpolation
+// within the containing bin. It panics when the histogram is empty or q is
+// out of range.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		panic(ErrEmpty)
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of range")
+	}
+	target := q * float64(h.count)
+	acc := float64(h.underflow)
+	if target <= acc {
+		return h.lo
+	}
+	for i, c := range h.bins {
+		if acc+float64(c) >= target && c > 0 {
+			_, lo, hi := h.Bin(i)
+			frac := (target - acc) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		acc += float64(c)
+	}
+	return h.hi
+}
+
+// String renders a compact bar chart.
+func (h *Histogram) String() string {
+	var max uint64
+	for _, c := range h.bins {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i := range h.bins {
+		c, lo, hi := h.Bin(i)
+		bar := 0
+		if max > 0 {
+			bar = int(float64(c) / float64(max) * 40)
+		}
+		fmt.Fprintf(&b, "[%8.1f, %8.1f) %6d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	if h.underflow > 0 || h.overflow > 0 {
+		fmt.Fprintf(&b, "out of range: %d under, %d over\n", h.underflow, h.overflow)
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{0, 1.9, 2, 5, 9.99, -1, 10, 11})
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Errorf("out of range = %d/%d, want 1/2", under, over)
+	}
+	c0, lo, hi := h.Bin(0)
+	if c0 != 2 || lo != 0 || hi != 2 {
+		t.Errorf("bin 0 = (%d, %v, %v), want (2, 0, 2)", c0, lo, hi)
+	}
+	c1, _, _ := h.Bin(1)
+	if c1 != 1 { // the sample at exactly 2 goes to bin 1
+		t.Errorf("bin 1 = %d, want 1", c1)
+	}
+}
+
+func TestHistogramModeAndQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 70; i++ {
+		h.Add(25) // bin 2
+	}
+	for i := 0; i < 30; i++ {
+		h.Add(85) // bin 8
+	}
+	if m := h.Mode(); m != 25 {
+		t.Errorf("mode = %v, want 25 (bin midpoint)", m)
+	}
+	if q := h.Quantile(0.5); q < 20 || q >= 30 {
+		t.Errorf("median = %v, want within bin [20,30)", q)
+	}
+	if q := h.Quantile(0.9); q < 80 || q >= 90 {
+		t.Errorf("p90 = %v, want within bin [80,90)", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Errorf("q0 = %v, want lo", q)
+	}
+}
+
+func TestHistogramNaNAndBounds(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(math.NaN())
+	if _, over := h.OutOfRange(); over != 1 {
+		t.Error("NaN not accounted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad geometry did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestHistogramEmptyQuantilePanics(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("empty quantile did not panic")
+		}
+	}()
+	h.Quantile(0.5)
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.AddAll([]float64{1, 1, 1, 7, 42})
+	out := h.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "over") {
+		t.Errorf("render missing bars or overflow note:\n%s", out)
+	}
+}
+
+// Property: every added in-range sample lands in exactly one bin, and the
+// quantile function is monotone.
+func TestHistogramProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := NewHistogram(-100, 100, 16)
+		xs := sanitize(raw)
+		h.AddAll(xs)
+		var binned uint64
+		for i := 0; i < h.Bins(); i++ {
+			c, _, _ := h.Bin(i)
+			binned += c
+		}
+		under, over := h.OutOfRange()
+		if binned+under+over != h.Count() {
+			return false
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

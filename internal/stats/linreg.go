@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// LinearFit is the result of an ordinary least-squares fit y = Alpha + Beta*x.
+// This is the form used throughout the paper: contention T_C(N) = α + β·N,
+// multi-line latency T(N) = α + β·N, and the sort overhead model.
+type LinearFit struct {
+	Alpha, Beta float64
+	R2          float64 // coefficient of determination
+	N           int
+}
+
+// ErrBadFit is returned when a regression input is degenerate.
+var ErrBadFit = errors.New("stats: degenerate regression input")
+
+// LinReg fits y = alpha + beta*x by ordinary least squares.
+// It returns ErrBadFit if fewer than two points are given or all x are equal.
+func LinReg(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, errors.New("stats: x/y length mismatch")
+	}
+	n := len(x)
+	if n < 2 {
+		return LinearFit{}, ErrBadFit
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, ErrBadFit
+	}
+	beta := sxy / sxx
+	alpha := my - beta*mx
+	r2 := 1.0
+	if syy > 0 {
+		var ssRes float64
+		for i := 0; i < n; i++ {
+			r := y[i] - (alpha + beta*x[i])
+			ssRes += r * r
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return LinearFit{Alpha: alpha, Beta: beta, R2: r2, N: n}, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Alpha + f.Beta*x }
+
+// Residuals returns y[i] - Predict(x[i]) for all points.
+func (f LinearFit) Residuals(x, y []float64) []float64 {
+	res := make([]float64, len(x))
+	for i := range x {
+		res[i] = y[i] - f.Predict(x[i])
+	}
+	return res
+}
+
+// RMSE returns the root-mean-square error of the fit over (x, y).
+func (f LinearFit) RMSE(x, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, r := range f.Residuals(x, y) {
+		ss += r * r
+	}
+	return math.Sqrt(ss / float64(len(x)))
+}

@@ -1,0 +1,160 @@
+// Package tune derives close-to-optimal communication algorithms from a
+// capability model ("model-tuning", paper Section IV-B): the exact optimal
+// generic tree for broadcast and reduce (Equation 1) via dynamic
+// programming, and the optimal (r, m) dissemination barrier (Equation 2)
+// via exhaustive sweep. The resulting trees are the non-trivial shapes of
+// Figure 1 that "would not have been found with traditional algorithm
+// design techniques".
+package tune
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"knlcap/internal/core"
+)
+
+// levelCost abstracts Tlev so broadcast and reduce share the optimizer.
+type levelCost func(k int) float64
+
+// TunedTree is the result of a tree optimization.
+type TunedTree struct {
+	Tree *core.Tree
+	// CostNs is the model-predicted completion time.
+	CostNs float64
+	// Nodes is the number of tree nodes (tiles).
+	Nodes int
+}
+
+// optimalTree computes the exact minimum of
+//
+//	T(n) = min_k [ Tlev(k) + T(ceil((n-1)/k)) ],  T(1) = 0
+//
+// which is the full minimization of Equation 1: since T is nondecreasing
+// in n and the per-level cost depends only on the fan-out, the best
+// partition of the n-1 descendants into k subtrees balances them, so
+// searching over k suffices for exact optimality.
+func optimalTree(n int, lev levelCost) TunedTree {
+	if n < 1 {
+		panic("tune: tree over fewer than 1 node")
+	}
+	cost := make([]float64, n+1)
+	bestK := make([]int, n+1)
+	for sz := 2; sz <= n; sz++ {
+		cost[sz] = math.Inf(1)
+		for k := 1; k <= sz-1; k++ {
+			sub := (sz - 1 + k - 1) / k // ceil((sz-1)/k)
+			c := lev(k) + cost[sub]
+			if c < cost[sz] {
+				cost[sz] = c
+				bestK[sz] = k
+			}
+		}
+	}
+	var build func(sz int) *core.Tree
+	build = func(sz int) *core.Tree {
+		t := &core.Tree{}
+		if sz == 1 {
+			return t
+		}
+		k := bestK[sz]
+		remaining := sz - 1
+		for i := 0; i < k; i++ {
+			// Distribute as evenly as possible; the largest part matches
+			// ceil((sz-1)/k) so the DP cost is achieved.
+			part := (remaining + (k - i) - 1) / (k - i)
+			t.Kids = append(t.Kids, build(part))
+			remaining -= part
+		}
+		if remaining != 0 {
+			panic("tune: partition error")
+		}
+		return t
+	}
+	return TunedTree{Tree: build(n), CostNs: cost[n], Nodes: n}
+}
+
+// Broadcast returns the model-optimal broadcast tree over n nodes.
+func Broadcast(m *core.Model, n int) TunedTree {
+	return optimalTree(n, m.TLev)
+}
+
+// Reduce returns the model-optimal reduce tree over n nodes (Figure 1).
+func Reduce(m *core.Model, n int) TunedTree {
+	return optimalTree(n, m.TLevReduce)
+}
+
+// TunedBarrier is the result of the dissemination-barrier optimization.
+type TunedBarrier struct {
+	N      int
+	M      int // peers notified per round
+	Rounds int
+	CostNs float64
+}
+
+// Barrier minimizes Equation 2 over m: T = r*(RI + m*RR) subject to
+// (m+1)^r >= n.
+func Barrier(m *core.Model, n int) TunedBarrier {
+	best := TunedBarrier{N: n, M: 1, Rounds: core.DisseminationRounds(n, 1),
+		CostNs: m.BarrierCost(n, 1)}
+	for mw := 2; mw < n; mw++ {
+		c := m.BarrierCost(n, mw)
+		if c < best.CostNs {
+			best = TunedBarrier{N: n, M: mw,
+				Rounds: core.DisseminationRounds(n, mw), CostNs: c}
+		}
+	}
+	return best
+}
+
+// RenderTree draws the tree level by level (the textual Figure 1): each
+// line lists the fan-outs of the nodes at that depth.
+func RenderTree(t *core.Tree) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes=%d depth=%d\n", t.Size(), t.Depth())
+	for lvl, fans := range t.Fanouts() {
+		fmt.Fprintf(&b, "  level %d fan-outs: %v\n", lvl, fans)
+	}
+	return b.String()
+}
+
+// BruteForceTreeCost exhaustively minimizes Equation 1 for small n
+// (testing aid: verifies the DP). It searches all multisets of subtree
+// sizes per fan-out.
+func BruteForceTreeCost(n int, lev levelCost) float64 {
+	memo := map[int]float64{1: 0}
+	var solve func(n int) float64
+	solve = func(n int) float64 {
+		if c, ok := memo[n]; ok {
+			return c
+		}
+		best := math.Inf(1)
+		// Enumerate partitions of n-1 into k parts via the largest part.
+		var rec func(remaining, parts, largest int, maxCost float64, k int)
+		rec = func(remaining, parts, largest int, maxCost float64, k int) {
+			if parts == 0 {
+				if remaining == 0 {
+					if c := lev(k) + maxCost; c < best {
+						best = c
+					}
+				}
+				return
+			}
+			for sz := 1; sz <= largest && sz <= remaining-(parts-1); sz++ {
+				c := solve(sz)
+				mc := maxCost
+				if c > mc {
+					mc = c
+				}
+				rec(remaining-sz, parts-1, sz, mc, k)
+			}
+		}
+		for k := 1; k <= n-1; k++ {
+			rec(n-1, k, n-1, 0, k)
+		}
+		memo[n] = best
+		return best
+	}
+	return solve(n)
+}
