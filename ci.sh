@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# ci.sh — the full tier-1 gate. Run before every commit; CI runs the same.
+#
+#   ./ci.sh          full gate
+#   ./ci.sh -quick   skip the race detector (slowest stage)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+[ "${1:-}" = "-quick" ] && quick=1
+
+step() { echo "== $*"; }
+
+step "gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+step "go vet ./..."
+go vet ./...
+
+step "go build ./..."
+go build ./...
+
+step "knl-lint ./..."
+go run ./cmd/knl-lint ./...
+
+step "go test ./..."
+go test ./...
+
+if [ "$quick" = 0 ]; then
+    # Only these packages spawn goroutines (the parallel sort and the
+    # simulator's process mechanism); everything else is single-threaded.
+    step "go test -race (internal/msort, internal/sim)"
+    go test -race ./internal/msort ./internal/sim
+fi
+
+echo "ci.sh: all gates passed"

@@ -1,0 +1,87 @@
+// Command knl-lint runs the repository's static-analysis suite (package
+// internal/analysis) over module packages and exits non-zero on findings.
+//
+// Usage:
+//
+//	knl-lint [-C dir] [-tests] [-analyzers list] [patterns...]
+//	knl-lint -list
+//
+// Patterns are module-relative directories; "dir/..." recurses and
+// "./..." (the default) covers the whole module. Findings print one per
+// line as "file:line:col: analyzer: message".
+//
+// Exit codes: 0 no findings, 1 findings reported, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"knlcap/internal/analysis"
+)
+
+func main() {
+	fs := flag.NewFlagSet("knl-lint", flag.ExitOnError)
+	dir := fs.String("C", ".", "module root directory")
+	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: knl-lint [-C dir] [-tests] [-analyzers list] [patterns...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *names != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*names, ","))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := analysis.DefaultConfig()
+	cfg.IncludeTests = *tests
+	loader.IncludeTests = *tests
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	if len(pkgs) == 0 {
+		fatal(fmt.Errorf("no packages matched %s", strings.Join(patterns, " ")))
+	}
+
+	findings := analysis.Run(cfg, pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "knl-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "knl-lint:", err)
+	os.Exit(2)
+}

@@ -70,7 +70,9 @@ func fitCmd(args []string) {
 	out := fs.String("o", "model.json", "output file")
 	cluster := fs.String("cluster", "SNC4", "cluster mode to fit")
 	quick := fs.Bool("quick", false, "reduced measurement effort")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
 
 	cfg := knl.DefaultConfig().WithModes(clusterByName(*cluster), knl.Flat)
 	o := bench.DefaultOptions()

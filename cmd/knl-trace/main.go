@@ -79,8 +79,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		if err := col.WriteCSV(f); err != nil {
+		err = col.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("raw trace written to %s\n", *csvPath)

@@ -1,0 +1,192 @@
+// Package analysis is a small stdlib-only static-analysis framework plus
+// the repository's suite of repo-specific analyzers (run by cmd/knl-lint).
+//
+// The suite enforces the invariants the reproduction depends on:
+//
+//   - determinism: the discrete-event simulator must produce bit-identical
+//     timelines for identical seeds, so simulator packages may not iterate
+//     maps, read wall-clock time, use the global math/rand source, spawn
+//     raw goroutines, or select over channels (see DESIGN.md §7).
+//   - floatcmp: model and statistics packages may not compare floats with
+//     == or != (the capability model is pure float64 arithmetic).
+//   - errcheck: error return values in cmd/ and internal/ must be checked
+//     or explicitly discarded with `_ =`.
+//   - printban: library packages may not print to stdout; user output goes
+//     through cmd/ or internal/report.
+//
+// Findings print as "file:line:col: analyzer: message". A finding can be
+// suppressed with a justified directive on the same or the preceding line:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// or for a whole file (before the package clause):
+//
+//	//lint:file-ignore <analyzer> <reason>
+//
+// Directives without a reason are themselves reported (analyzer "lint").
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the clickable file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Applies reports whether the analyzer runs over the package at all
+	// (package-level scoping/allowlists). Nil means every package.
+	Applies func(cfg *Config, pkg *Package) bool
+	Run     func(pass *Pass)
+}
+
+// Config scopes the analyzers to package sets and carries shared options.
+// Package lists hold full import paths.
+type Config struct {
+	// SimulatorPkgs are the deterministic simulator core; the determinism
+	// analyzer runs only there.
+	SimulatorPkgs []string
+	// ModelPkgs are the pure-math model/statistics packages; the floatcmp
+	// analyzer runs only there.
+	ModelPkgs []string
+	// OutputPkgs are the designated output layer, exempt from printban.
+	OutputPkgs []string
+	// ErrCheckAllow adds entries to the errcheck callee allowlist, in
+	// types.Func.FullName form (e.g. "(*os.File).Close").
+	ErrCheckAllow []string
+	// IncludeTests makes the loader include in-package _test.go files.
+	IncludeTests bool
+}
+
+// DefaultConfig returns the configuration for this repository.
+func DefaultConfig() *Config {
+	return &Config{
+		SimulatorPkgs: []string{
+			"knlcap/internal/sim",
+			"knlcap/internal/machine",
+			"knlcap/internal/mesh",
+			"knlcap/internal/cache",
+		},
+		ModelPkgs: []string{
+			"knlcap/internal/core",
+			"knlcap/internal/stats",
+			"knlcap/internal/roofline",
+		},
+		OutputPkgs: []string{
+			"knlcap/internal/report",
+		},
+	}
+}
+
+func matchPkg(list []string, path string) bool {
+	for _, p := range list {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Cfg      *Config
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by identifier id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Pkg.Info.ObjectOf(id)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, FloatCmp, ErrCheck, PrintBan}
+}
+
+// ByName resolves analyzer names; unknown names are an error.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the packages, applies suppression
+// directives, and returns the surviving findings sorted by position.
+func Run(cfg *Config, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(cfg, pkg) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Cfg:      cfg,
+				Fset:     pkg.Fset,
+				Pkg:      pkg,
+				findings: &raw,
+			}
+			a.Run(pass)
+		}
+	}
+	out := applySuppressions(pkgs, raw)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"sync"
+	"testing"
+)
+
+// fixtureCfg scopes the analyzers to the testdata module's packages.
+func fixtureCfg() *Config {
+	return &Config{
+		SimulatorPkgs: []string{"fix.example/simpkg"},
+		ModelPkgs:     []string{"fix.example/modelpkg"},
+		OutputPkgs:    []string{"fix.example/outpkg"},
+	}
+}
+
+var (
+	fixturesOnce sync.Once
+	fixturesPkgs map[string]*Package
+	fixturesErr  error
+)
+
+// loadFixtures loads the whole testdata module once and indexes packages
+// by import path.
+func loadFixtures(t *testing.T) map[string]*Package {
+	t.Helper()
+	fixturesOnce.Do(func() {
+		loader, err := NewLoader("testdata/src")
+		if err != nil {
+			fixturesErr = err
+			return
+		}
+		pkgs, err := loader.Load("./...")
+		if err != nil {
+			fixturesErr = err
+			return
+		}
+		fixturesPkgs = map[string]*Package{}
+		for _, p := range pkgs {
+			fixturesPkgs[p.Path] = p
+		}
+	})
+	if fixturesErr != nil {
+		t.Fatalf("loading fixtures: %v", fixturesErr)
+	}
+	return fixturesPkgs
+}
+
+// runOn runs the named analyzers over one fixture package and returns the
+// findings as strings.
+func runOn(t *testing.T, pkgPath string, names ...string) []string {
+	t.Helper()
+	pkgs := loadFixtures(t)
+	pkg, ok := pkgs[pkgPath]
+	if !ok {
+		t.Fatalf("fixture package %s not loaded (have %v)", pkgPath, pkgPaths(pkgs))
+	}
+	analyzers, err := ByName(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, f := range Run(fixtureCfg(), []*Package{pkg}, analyzers) {
+		out = append(out, f.String())
+	}
+	return out
+}
+
+func pkgPaths(pkgs map[string]*Package) []string {
+	var out []string
+	for p := range pkgs {
+		out = append(out, p)
+	}
+	return out
+}
+
+func diff(t *testing.T, got, want []string) {
+	t.Helper()
+	for i := 0; i < len(got) || i < len(want); i++ {
+		g, w := "", ""
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		if g != w {
+			t.Errorf("finding %d:\n  got:  %s\n  want: %s", i, g, w)
+		}
+	}
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	diff(t, runOn(t, "fix.example/simpkg", "determinism"), []string{
+		"testdata/src/simpkg/simpkg.go:14:2: determinism: range over map (map[int]int): iteration order is randomized; iterate sorted keys or a slice",
+		"testdata/src/simpkg/simpkg.go:33:7: determinism: time.Now: wall-clock time leaks host timing into the simulation; use sim.Env.Now",
+		"testdata/src/simpkg/simpkg.go:34:12: determinism: time.Since: wall-clock time leaks host timing into the simulation; use sim.Env.Now",
+		"testdata/src/simpkg/simpkg.go:39:9: determinism: rand.Intn uses the global, unseeded random source; use an explicitly seeded generator (stats.NewRNG)",
+		"testdata/src/simpkg/simpkg.go:50:2: determinism: go statement: goroutine interleaving is scheduler-dependent; spawn simulated processes via sim.Env.Go",
+		"testdata/src/simpkg/simpkg.go:52:2: determinism: select statement: the runtime picks ready cases at random; use deterministic event ordering",
+	})
+}
+
+func TestDeterminismPackageAllowlist(t *testing.T) {
+	diff(t, runOn(t, "fix.example/simfree", "determinism"), nil)
+}
+
+func TestFloatCmpGolden(t *testing.T) {
+	diff(t, runOn(t, "fix.example/modelpkg", "floatcmp"), []string{
+		"testdata/src/modelpkg/modelpkg.go:6:9: floatcmp: floating-point == comparison: compare with a tolerance (math.Abs(a-b) <= eps)",
+		"testdata/src/modelpkg/modelpkg.go:11:9: floatcmp: floating-point != comparison: compare with a tolerance (math.Abs(a-b) <= eps)",
+		"testdata/src/modelpkg/modelpkg.go:32:9: floatcmp: floating-point == comparison: compare with a tolerance (math.Abs(a-b) <= eps)",
+	})
+}
+
+func TestErrCheckGolden(t *testing.T) {
+	diff(t, runOn(t, "fix.example/errpkg", "errcheck"), []string{
+		"testdata/src/errpkg/errpkg.go:15:2: errcheck: error returned by fix.example/errpkg.fallible is silently discarded: check it or assign it to _",
+		"testdata/src/errpkg/errpkg.go:16:2: errcheck: error returned by os.Remove is silently discarded: check it or assign it to _",
+		"testdata/src/errpkg/errpkg.go:22:8: errcheck: error returned by (*os.File).Close is silently discarded: check it or assign it to _",
+		"testdata/src/errpkg/errpkg.go:34:2: errcheck: error returned by fmt.Fprintf is silently discarded: check it or assign it to _",
+	})
+}
+
+func TestPrintBanGolden(t *testing.T) {
+	diff(t, runOn(t, "fix.example/printpkg", "printban"), []string{
+		"testdata/src/printpkg/printpkg.go:9:2: printban: fmt.Println in library package: route output through cmd/ or internal/report",
+		"testdata/src/printpkg/printpkg.go:10:2: printban: builtin println in library package: route output through cmd/ or internal/report",
+	})
+}
+
+func TestPrintBanOutputLayerExempt(t *testing.T) {
+	diff(t, runOn(t, "fix.example/outpkg", "printban"), nil)
+}
+
+func TestFileIgnoreDirective(t *testing.T) {
+	diff(t, runOn(t, "fix.example/fileig", "printban"), nil)
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	diff(t, runOn(t, "fix.example/badlint", "errcheck"), []string{
+		"testdata/src/badlint/badlint.go:10:2: lint: suppression directive needs an analyzer name and a reason",
+		"testdata/src/badlint/badlint.go:11:2: errcheck: error returned by os.Remove is silently discarded: check it or assign it to _",
+	})
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName([]string{"determinism", "nope"}); err == nil {
+		t.Fatal("ByName accepted unknown analyzer name")
+	}
+}
+
+// TestSuiteOverFixtures runs the full suite over every fixture package at
+// once: the per-analyzer golden findings above, plus the cross-analyzer
+// ones (errpkg prints from a library package; printpkg's calls are also
+// spotted there), must all surface in one sorted stream.
+func TestSuiteOverFixtures(t *testing.T) {
+	pkgsByPath := loadFixtures(t)
+	var pkgs []*Package
+	for _, path := range []string{
+		"fix.example/badlint", "fix.example/errpkg", "fix.example/fileig",
+		"fix.example/modelpkg", "fix.example/outpkg", "fix.example/printpkg",
+		"fix.example/simfree", "fix.example/simpkg",
+	} {
+		pkg, ok := pkgsByPath[path]
+		if !ok {
+			t.Fatalf("fixture package %s not loaded", path)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings := Run(fixtureCfg(), pkgs, All())
+	perAnalyzer := map[string]int{}
+	for _, f := range findings {
+		perAnalyzer[f.Analyzer]++
+	}
+	want := map[string]int{
+		"determinism": 6,
+		"floatcmp":    3,
+		"errcheck":    5, // errpkg's four + badlint's one
+		"printban":    3, // printpkg's two + errpkg's fmt.Println
+		"lint":        1,
+	}
+	for a, n := range want {
+		if perAnalyzer[a] != n {
+			t.Errorf("suite: %s findings = %d, want %d", a, perAnalyzer[a], n)
+		}
+	}
+	for a, n := range perAnalyzer {
+		if _, ok := want[a]; !ok {
+			t.Errorf("suite: unexpected analyzer %s with %d findings", a, n)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp forbids == and != between floating-point operands in the model
+// and statistics packages. The capability model is pure float64 arithmetic
+// (Equations 1-5 of the paper); exact equality there is almost always a
+// rounding-sensitive bug. The one idiomatic exception, the x != x NaN
+// test, is recognized and allowed.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbids ==/!= between floating-point operands in model/stat packages",
+	Applies: func(cfg *Config, pkg *Package) bool {
+		return matchPkg(cfg.ModelPkgs, pkg.Path)
+	},
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) && !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			// x != x (or x == x) is the portable NaN check.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"floating-point %s comparison: compare with a tolerance (math.Abs(a-b) <= eps)", be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore or //lint:file-ignore
+// comment.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers []string // names, or ["*"] for all
+	reason    string
+	wholeFile bool
+}
+
+const (
+	linePrefix = "//lint:ignore "
+	filePrefix = "//lint:file-ignore "
+)
+
+// parseDirectives extracts suppression directives from a package's
+// comments. Malformed directives (a missing analyzer list or reason) are
+// reported as findings of the pseudo-analyzer "lint": an unexplained
+// suppression is exactly the silent exception the linter exists to forbid.
+func parseDirectives(pkg *Package, report func(Finding)) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				wholeFile := false
+				var rest string
+				switch {
+				case strings.HasPrefix(text, linePrefix):
+					rest = strings.TrimPrefix(text, linePrefix)
+				case strings.HasPrefix(text, filePrefix):
+					rest = strings.TrimPrefix(text, filePrefix)
+					wholeFile = true
+				case text == strings.TrimSpace(linePrefix), text == strings.TrimSpace(filePrefix):
+					report(Finding{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Analyzer: "lint",
+						Message:  "suppression directive without analyzer name and reason",
+					})
+					continue
+				default:
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(Finding{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Analyzer: "lint",
+						Message:  "suppression directive needs an analyzer name and a reason",
+					})
+					continue
+				}
+				out = append(out, ignoreDirective{
+					pos:       pkg.Fset.Position(c.Pos()),
+					analyzers: strings.Split(fields[0], ","),
+					reason:    strings.Join(fields[1:], " "),
+					wholeFile: wholeFile,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func (d ignoreDirective) covers(f Finding) bool {
+	if f.Pos.Filename != d.pos.Filename {
+		return false
+	}
+	if !d.wholeFile && f.Pos.Line != d.pos.Line && f.Pos.Line != d.pos.Line+1 {
+		return false
+	}
+	for _, name := range d.analyzers {
+		if name == f.Analyzer || name == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// applySuppressions filters findings covered by directives and appends
+// "lint" findings for malformed directives.
+func applySuppressions(pkgs []*Package, raw []Finding) []Finding {
+	var directives []ignoreDirective
+	var out []Finding
+	for _, pkg := range pkgs {
+		directives = append(directives, parseDirectives(pkg, func(f Finding) {
+			out = append(out, f)
+		})...)
+	}
+	for _, f := range raw {
+		suppressed := false
+		for _, d := range directives {
+			if d.covers(f) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}

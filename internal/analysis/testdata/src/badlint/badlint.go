@@ -1,0 +1,12 @@
+// Package badlint carries a malformed suppression directive, which the
+// framework must itself report (analyzer "lint").
+package badlint
+
+import "os"
+
+// Sloppy tries to suppress without giving a reason: the directive at line
+// 9 is reported, and the errcheck finding at line 10 survives.
+func Sloppy() {
+	//lint:ignore errcheck
+	os.Remove("gone")
+}

@@ -1,0 +1,35 @@
+// Package errpkg is the errcheck fixture.
+package errpkg
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+func fallible() error { return nil }
+
+// Discard drops errors on the floor: findings at lines 15 and 16.
+func Discard(f *os.File) {
+	fallible()
+	os.Remove("gone")
+	_ = fallible() // explicit discard: no finding
+}
+
+// DeferredClose defers a fallible close: finding at line 22.
+func DeferredClose(f *os.File) {
+	defer f.Close()
+}
+
+// Allowed exercises the allowlist: no findings.
+func Allowed(buf *bytes.Buffer) {
+	fmt.Println("to stdout")
+	fmt.Fprintf(os.Stderr, "to stderr\n")
+	buf.WriteString("in-memory")
+}
+
+// ArbitraryWriter hits a writer that can fail: finding at line 34.
+func ArbitraryWriter(w io.Writer) {
+	fmt.Fprintf(w, "may fail\n")
+}

@@ -1,0 +1,13 @@
+// Package fileig suppresses an analyzer for the whole file with a
+// justified file-ignore directive.
+
+//lint:file-ignore printban fixture: this file deliberately prints everywhere
+package fileig
+
+import "fmt"
+
+// Noisy prints twice; both calls are covered by the file directive.
+func Noisy() {
+	fmt.Println("one")
+	fmt.Println("two")
+}

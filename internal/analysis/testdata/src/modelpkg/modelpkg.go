@@ -1,0 +1,33 @@
+// Package modelpkg is the floatcmp fixture.
+package modelpkg
+
+// Eq compares floats exactly: finding at line 6.
+func Eq(a, b float64) bool {
+	return a == b
+}
+
+// Neq compares float32s exactly: finding at line 11.
+func Neq(a, b float32) bool {
+	return a != b
+}
+
+// IsNaN uses the idiomatic self-comparison: no finding.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// EqInt compares integers: no finding.
+func EqInt(a, b int) bool {
+	return a == b
+}
+
+// EqSentinel compares against an exact sentinel, with justification.
+func EqSentinel(x float64) bool {
+	//lint:ignore floatcmp zero is an exact sentinel here, never computed
+	return x == 0
+}
+
+// MixedConst compares a float to an untyped constant: finding at line 32.
+func MixedConst(x float64) bool {
+	return x == 0.25
+}

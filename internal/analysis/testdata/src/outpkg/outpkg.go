@@ -1,0 +1,10 @@
+// Package outpkg stands in for the designated output layer
+// (Config.OutputPkgs): printing here is the package's purpose.
+package outpkg
+
+import "fmt"
+
+// Emit prints from the output layer: no finding.
+func Emit(v int) {
+	fmt.Println(v)
+}

@@ -1,0 +1,16 @@
+// Package printpkg is the printban fixture: a library package printing
+// straight to stdout.
+package printpkg
+
+import "fmt"
+
+// Debug prints from a library package: findings at lines 9 and 10.
+func Debug(v int) {
+	fmt.Println("debug:", v)
+	println("builtin debug:", v)
+}
+
+// Format builds a string without printing: no finding.
+func Format(v int) string {
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,20 @@
+// Package simfree repeats banned determinism constructs but is NOT listed
+// in Config.SimulatorPkgs, so the analyzer must stay silent here (the
+// package-allowlist behavior under test).
+package simfree
+
+import "time"
+
+// SumKeys ranges over a map outside the simulator core: no finding.
+func SumKeys(m map[int]int) int {
+	s := 0
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// Stamp reads the wall clock outside the simulator core: no finding.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,57 @@
+// Package simpkg is the determinism-analyzer fixture: every banned
+// construct once, plus the allowed and suppressed variants.
+package simpkg
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SumKeys ranges over a map: finding at line 14.
+func SumKeys(m map[int]int) int {
+	s := 0
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// SortedKeys ranges over a map too, but the directive suppresses it.
+func SortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	//lint:ignore determinism keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Stamp reads the wall clock: findings at lines 33 and 34.
+func Stamp() (time.Time, time.Duration) {
+	t := time.Now()
+	return t, time.Since(t)
+}
+
+// Draw uses the global math/rand source: finding at line 39.
+func Draw() int {
+	return rand.Intn(6)
+}
+
+// DrawSeeded uses an explicitly seeded generator: no finding.
+func DrawSeeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}
+
+// Spawn starts a raw goroutine (finding at line 50) and selects over
+// channels (finding at line 52).
+func Spawn(a, b chan int) {
+	go func() { a <- 1 }()
+	var v int
+	select {
+	case v = <-a:
+	case v = <-b:
+	}
+	_ = v
+}

@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"encoding/binary"
+	"hash"
+	"hash/fnv"
+)
+
+// digester accumulates 64-bit words into an FNV-1a hash. The tag arrays
+// hash their own state (rather than exposing it) so the machine's
+// StateDigest can fold whole cache hierarchies without copying them.
+type digester struct {
+	h   hash.Hash64
+	buf [8]byte
+}
+
+func newDigester() *digester {
+	return &digester{h: fnv.New64a()}
+}
+
+func (d *digester) put(v uint64) {
+	binary.LittleEndian.PutUint64(d.buf[:], v)
+	_, _ = d.h.Write(d.buf[:]) // fnv.Write never fails
+}
+
+func (d *digester) sum() uint64 { return d.h.Sum64() }
+
+// Digest returns an FNV-1a hash of the complete tag-array state: every
+// valid entry's position, line, MESIF state and LRU tick, plus the
+// cumulative counters. Two identical operation histories yield identical
+// digests; see machine.StateDigest.
+func (c *SetAssoc) Digest() uint64 {
+	d := newDigester()
+	d.put(c.tick)
+	d.put(c.hits)
+	d.put(c.misses)
+	d.put(c.evictions)
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.state == Invalid {
+			continue // stale tags of invalidated entries are not state
+		}
+		d.put(uint64(i))
+		d.put(uint64(e.line))
+		d.put(uint64(e.state))
+		d.put(e.lru)
+	}
+	return d.sum()
+}
+
+// Digest returns an FNV-1a hash of the direct-mapped array state: every
+// valid entry's index, tag and dirty bit, plus the cumulative counters.
+func (d *DirectMapped) Digest() uint64 {
+	dg := newDigester()
+	dg.put(d.hits)
+	dg.put(d.misses)
+	dg.put(d.evicted)
+	for i := uint64(0); i < d.sets; i++ {
+		if !d.valid[i] {
+			continue
+		}
+		dirty := uint64(0)
+		if d.dirty[i] {
+			dirty = 1
+		}
+		dg.put(i)
+		dg.put(uint64(d.tags[i]))
+		dg.put(dirty)
+	}
+	return dg.sum()
+}

@@ -124,8 +124,11 @@ func (m *Model) SaveFile(path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return m.Save(f)
+	err = m.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // LoadFile reads a model from a JSON file.
@@ -134,6 +137,7 @@ func LoadFile(path string) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore errcheck close of a read-only file; the decode error is what matters
 	defer f.Close()
 	return ReadModel(f)
 }

@@ -1,0 +1,86 @@
+package machine
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"knlcap/internal/cache"
+)
+
+// StateDigest returns a 64-bit FNV-1a hash over the machine's complete
+// observable simulation state: the clock and event counter, the RNG
+// state, the coherence directory, the word store, the watcher signals,
+// every L1/L2 tag array, the serializing-resource counters, the memory
+// channel traffic, and the memory-side cache. Map contents are folded in
+// sorted-key order, so the digest is a function of the state alone, never
+// of Go's randomized map iteration.
+//
+// Two runs of the same workload on the same configuration and seed must
+// produce identical digests — the dynamic counterpart of the static
+// determinism analyzer in internal/analysis (see determinism_test.go).
+func (m *Machine) StateDigest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:]) // fnv.Write never fails
+	}
+
+	put(math.Float64bits(m.Env.Now()))
+	put(m.Env.Seq())
+	for _, s := range m.rng.State() {
+		put(s)
+	}
+
+	put(uint64(len(m.dir)))
+	for _, l := range sortedLineKeys(m.dir) {
+		put(uint64(l))
+		put(m.dir[l])
+	}
+	put(uint64(len(m.words)))
+	for _, l := range sortedLineKeys(m.words) {
+		put(uint64(l))
+		put(m.words[l])
+	}
+	put(uint64(len(m.watchers)))
+	for _, l := range sortedLineKeys(m.watchers) {
+		w := m.watchers[l]
+		put(uint64(l))
+		put(w.Version())
+		put(uint64(w.Waiting()))
+	}
+
+	for _, ts := range m.tiles {
+		put(ts.l2.Digest())
+		put(ts.cha.Acquires())
+		put(ts.port.Acquires())
+	}
+	for _, cs := range m.cores {
+		put(cs.l1.Digest())
+		put(cs.issue.Acquires())
+	}
+	for _, ch := range m.Mem.DDR {
+		put(ch.LinesRead())
+		put(ch.LinesWritten())
+	}
+	for _, ch := range m.Mem.MCDRAM {
+		put(ch.LinesRead())
+		put(ch.LinesWritten())
+	}
+	put(m.Policy.Digest())
+	return h.Sum64()
+}
+
+// sortedLineKeys returns the map's line keys in ascending order, giving
+// map folding a deterministic traversal.
+func sortedLineKeys[V any](mm map[cache.Line]V) []cache.Line {
+	keys := make([]cache.Line, 0, len(mm))
+	//lint:ignore determinism key-collection loop; the sort below restores a total order
+	for l := range mm {
+		keys = append(keys, l)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

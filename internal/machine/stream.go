@@ -104,6 +104,7 @@ func (pd *pending) flush(m *Machine, p *sim.Proc) {
 
 func sortedKeys(mm map[chanKey]int) []chanKey {
 	keys := make([]chanKey, 0, len(mm))
+	//lint:ignore determinism key-collection loop; the sort below restores a total order
 	for k := range mm {
 		keys = append(keys, k)
 	}

@@ -77,6 +77,20 @@ func (p *Policy) MarkDirty(e int, l cache.Line) {
 	p.slices[e].MarkDirty(l)
 }
 
+// Digest returns a hash of the memory-side cache state across all EDC
+// slices (0 when the policy is pass-through), for machine.StateDigest.
+func (p *Policy) Digest() uint64 {
+	if !p.Enabled() {
+		return 0
+	}
+	var sum uint64
+	for e, s := range p.slices {
+		// Mix with the slice index so swapped slice states change the sum.
+		sum += (uint64(e) + 0x9e3779b97f4a7c15) * s.Digest()
+	}
+	return sum
+}
+
 // HitRate returns the aggregate probe hit rate across slices.
 func (p *Policy) HitRate() float64 {
 	if !p.Enabled() {

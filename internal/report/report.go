@@ -1,6 +1,8 @@
 // Package report renders benchmark results as aligned ASCII tables, CSV
 // series and simple text plots — the output layer of the cmd binaries that
 // regenerate the paper's tables and figures.
+
+//lint:file-ignore errcheck rendering to caller-supplied writers is best-effort; callers pass terminals or in-memory buffers
 package report
 
 import (

@@ -48,7 +48,7 @@ func (m Model) Attainable(ai float64, kind knl.MemKind) float64 {
 // stops being memory-bound on the given technology.
 func (m Model) Ridge(kind knl.MemKind) float64 {
 	bw := m.PeakGBs[kind]
-	if bw == 0 {
+	if bw <= 0 {
 		return 0
 	}
 	return m.PeakGflops / bw

@@ -69,6 +69,11 @@ func NewEnv() *Env {
 // Now returns the current simulated time.
 func (e *Env) Now() Time { return e.now }
 
+// Seq returns the number of events scheduled so far. Together with Now it
+// identifies a point in the simulation's event history: two deterministic
+// runs of the same workload must agree on both.
+func (e *Env) Seq() uint64 { return e.seq }
+
 // Live returns the number of processes that have been spawned and not yet
 // finished.
 func (e *Env) Live() int { return e.live }
@@ -105,6 +110,7 @@ func (e *Env) GoAt(at Time, name string, fn func(p *Proc)) *Proc {
 	}
 	p := &Proc{env: e, name: name, resume: make(chan struct{})}
 	e.live++
+	//lint:ignore determinism this goroutine IS the process mechanism; the resume/sched handshake ensures exactly one runs at a time
 	go func() {
 		<-p.resume
 		fn(p)

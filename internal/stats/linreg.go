@@ -35,7 +35,7 @@ func LinReg(x, y []float64) (LinearFit, error) {
 		sxy += dx * dy
 		syy += dy * dy
 	}
-	if sxx == 0 {
+	if sxx <= 0 {
 		return LinearFit{}, ErrBadFit
 	}
 	beta := sxy / sxx

@@ -28,6 +28,9 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// State returns the generator's internal state, for state digesting.
+func (r *RNG) State() [4]uint64 { return r.s }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.
