@@ -32,10 +32,20 @@ step "go test ./..."
 go test ./...
 
 if [ "$quick" = 0 ]; then
-    # Only these packages spawn goroutines (the parallel sort and the
-    # simulator's process mechanism); everything else is single-threaded.
-    step "go test -race (internal/msort, internal/sim)"
-    go test -race ./internal/msort ./internal/sim
+    # These packages spawn goroutines (the parallel sort, the simulator's
+    # process mechanism, and the experiment worker pool); everything else
+    # is single-threaded.
+    step "go test -race (internal/msort, internal/sim, internal/exp)"
+    go test -race ./internal/msort ./internal/sim ./internal/exp
+
+    # Tier 2: parallel-vs-serial digest equivalence under the race
+    # detector, plus the engine benchmark smoke (asserts the zero-alloc
+    # hot path still compiles and runs; numbers go to BENCH_sweep.json
+    # via scripts/bench_baseline.sh).
+    step "tier-2: TestParallelEquivalence -race"
+    go test -run TestParallelEquivalence -race ./internal/exp/...
+    step "tier-2: bench smoke (EngineEvent, 1 iteration)"
+    go test -bench=EngineEvent -benchtime=1x -run '^$' ./internal/sim
 fi
 
 echo "ci.sh: all gates passed"

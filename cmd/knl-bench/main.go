@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"knlcap/internal/bench"
 	"knlcap/internal/cache"
@@ -32,6 +33,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV")
 	iterations := flag.Int("iterations", 0, "override bandwidth iterations")
 	experiments := flag.Bool("experiments", false, "list the experiment registry and exit")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker-pool size for independent measurement points (1 = serial; results are identical at every setting)")
 	flag.Parse()
 
 	if *experiments {
@@ -46,6 +49,7 @@ func main() {
 	if *iterations > 0 {
 		o.Iterations = *iterations
 	}
+	o.Parallel = *parallel
 
 	switch *table {
 	case 1:

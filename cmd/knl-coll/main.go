@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"knlcap/internal/bench"
 	"knlcap/internal/coll"
@@ -44,6 +45,8 @@ func main() {
 	speedups := flag.Bool("speedups", false, "print max speedups for all three collectives")
 	quick := flag.Bool("quick", false, "reduced iterations")
 	csv := flag.Bool("csv", false, "emit CSV")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker-pool size for independent measurement points (1 = serial; results are identical at every setting)")
 	flag.Parse()
 
 	cfg := knl.DefaultConfig() // SNC4-flat, as in the paper's figures
@@ -53,6 +56,7 @@ func main() {
 		o = o.Quick()
 	}
 	o.WindowNs = 1e6
+	o.Parallel = *parallel
 
 	if *speedups {
 		printSpeedups(cfg, model, o, schedOf(*sched))

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"knlcap/internal/core"
@@ -31,6 +32,8 @@ func main() {
 	lines := flag.Int("lines", 0, "input size in cache lines (0 = the three standard panels)")
 	verify := flag.Bool("verify", false, "run the real Go parallel sort and verify correctness")
 	csv := flag.Bool("csv", false, "emit CSV")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker-pool size for independent simulation points (1 = serial; results are identical at every setting)")
 	flag.Parse()
 
 	if *verify {
@@ -40,7 +43,7 @@ func main() {
 	cfg := knl.DefaultConfig() // SNC4-flat
 	model := core.Default()
 	fmt.Fprintln(os.Stderr, "fitting overhead model from 1 KB sorts...")
-	oh := msort.FitOverhead(cfg, model, knl.DDR, nil)
+	oh := msort.FitOverheadParallel(cfg, model, knl.DDR, nil, *parallel)
 	fmt.Printf("overhead model: %.0f + %.0f*threads [ns]\n\n", oh.Alpha, oh.Beta)
 
 	kinds := []knl.MemKind{knl.DDR, knl.MCDRAM}
@@ -70,7 +73,7 @@ func main() {
 	for _, kind := range kinds {
 		for _, panel := range panels {
 			fmt.Fprintf(os.Stderr, "panel %s on %v...\n", panel.label, kind)
-			pts := msort.Figure10(cfg, model, oh, panel.lines, kind, threadCounts)
+			pts := msort.Figure10Parallel(cfg, model, oh, panel.lines, kind, threadCounts, *parallel)
 			t := &report.Table{
 				Title: fmt.Sprintf("Figure 10: sorting %s of integers (%v, SNC4-flat, compact) [ns]",
 					panel.label, kind),

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"knlcap/internal/bench"
 	"knlcap/internal/cache"
@@ -26,12 +27,15 @@ func main() {
 	sched := flag.String("sched", "fill-tiles", "figure 9 schedule: fill-tiles | compact")
 	quick := flag.Bool("quick", false, "reduced effort")
 	csv := flag.Bool("csv", false, "emit CSV")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker-pool size for independent measurement points (1 = serial; results are identical at every setting)")
 	flag.Parse()
 
 	o := bench.DefaultOptions()
 	if *quick {
 		o = o.Quick()
 	}
+	o.Parallel = *parallel
 
 	var t *report.Table
 	var plot *report.Plot

@@ -13,6 +13,10 @@
 //     or explicitly discarded with `_ =`.
 //   - printban: library packages may not print to stdout; user output goes
 //     through cmd/ or internal/report.
+//   - envshare: outside internal/sim and internal/exp, a *sim.Env or
+//     *machine.Machine may not be captured by a go statement or sent over a
+//     channel — parallel experiments stay deterministic only while every
+//     point owns its environment.
 //
 // Findings print as "file:line:col: analyzer: message". A finding can be
 // suppressed with a justified directive on the same or the preceding line:
@@ -71,6 +75,13 @@ type Config struct {
 	// ErrCheckAllow adds entries to the errcheck callee allowlist, in
 	// types.Func.FullName form (e.g. "(*os.File).Close").
 	ErrCheckAllow []string
+	// EnvShareTypes are the shared-simulator-state types (as "pkgpath.Name")
+	// that the envshare analyzer forbids capturing in go statements or
+	// sending over channels.
+	EnvShareTypes []string
+	// EnvShareExempt are packages allowed to share those types across
+	// goroutines: the process mechanism itself and the experiment runner.
+	EnvShareExempt []string
 	// IncludeTests makes the loader include in-package _test.go files.
 	IncludeTests bool
 }
@@ -91,6 +102,14 @@ func DefaultConfig() *Config {
 		},
 		OutputPkgs: []string{
 			"knlcap/internal/report",
+		},
+		EnvShareTypes: []string{
+			"knlcap/internal/sim.Env",
+			"knlcap/internal/machine.Machine",
+		},
+		EnvShareExempt: []string{
+			"knlcap/internal/sim",
+			"knlcap/internal/exp",
 		},
 	}
 }
@@ -135,7 +154,7 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, FloatCmp, ErrCheck, PrintBan}
+	return []*Analyzer{Determinism, FloatCmp, ErrCheck, PrintBan, EnvShare}
 }
 
 // ByName resolves analyzer names; unknown names are an error.

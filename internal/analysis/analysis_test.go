@@ -8,9 +8,11 @@ import (
 // fixtureCfg scopes the analyzers to the testdata module's packages.
 func fixtureCfg() *Config {
 	return &Config{
-		SimulatorPkgs: []string{"fix.example/simpkg"},
-		ModelPkgs:     []string{"fix.example/modelpkg"},
-		OutputPkgs:    []string{"fix.example/outpkg"},
+		SimulatorPkgs:  []string{"fix.example/simpkg"},
+		ModelPkgs:      []string{"fix.example/modelpkg"},
+		OutputPkgs:     []string{"fix.example/outpkg"},
+		EnvShareTypes:  []string{"fix.example/fakesim.Env", "fix.example/fakesim.Machine"},
+		EnvShareExempt: []string{"fix.example/fakesim"},
 	}
 }
 
@@ -133,6 +135,19 @@ func TestPrintBanOutputLayerExempt(t *testing.T) {
 	diff(t, runOn(t, "fix.example/outpkg", "printban"), nil)
 }
 
+func TestEnvShareGolden(t *testing.T) {
+	diff(t, runOn(t, "fix.example/envpkg", "envshare"), []string{
+		`testdata/src/envpkg/envpkg.go:11:3: envshare: go statement shares fix.example/fakesim.Env "env" across goroutines: each worker must build its own machine; fan points out via internal/exp`,
+		`testdata/src/envpkg/envpkg.go:17:13: envshare: go statement shares fix.example/fakesim.Machine "m" across goroutines: each worker must build its own machine; fan points out via internal/exp`,
+		`testdata/src/envpkg/envpkg.go:24:5: envshare: fix.example/fakesim.Env sent over a channel: simulator state must stay owned by one goroutine; fan points out via internal/exp`,
+		`testdata/src/envpkg/envpkg.go:30:3: envshare: go statement shares fix.example/fakesim.Env "env" across goroutines: each worker must build its own machine; fan points out via internal/exp`,
+	})
+}
+
+func TestEnvShareMechanismExempt(t *testing.T) {
+	diff(t, runOn(t, "fix.example/fakesim", "envshare"), nil)
+}
+
 func TestFileIgnoreDirective(t *testing.T) {
 	diff(t, runOn(t, "fix.example/fileig", "printban"), nil)
 }
@@ -158,8 +173,9 @@ func TestSuiteOverFixtures(t *testing.T) {
 	pkgsByPath := loadFixtures(t)
 	var pkgs []*Package
 	for _, path := range []string{
-		"fix.example/badlint", "fix.example/errpkg", "fix.example/fileig",
-		"fix.example/modelpkg", "fix.example/outpkg", "fix.example/printpkg",
+		"fix.example/badlint", "fix.example/envpkg", "fix.example/errpkg",
+		"fix.example/fakesim", "fix.example/fileig", "fix.example/modelpkg",
+		"fix.example/outpkg", "fix.example/printpkg",
 		"fix.example/simfree", "fix.example/simpkg",
 	} {
 		pkg, ok := pkgsByPath[path]
@@ -178,6 +194,7 @@ func TestSuiteOverFixtures(t *testing.T) {
 		"floatcmp":    3,
 		"errcheck":    5, // errpkg's four + badlint's one
 		"printban":    3, // printpkg's two + errpkg's fmt.Println
+		"envshare":    4, // envpkg's two go captures, one send, one arg pass
 		"lint":        1,
 	}
 	for a, n := range want {

@@ -1,0 +1,48 @@
+// Package envpkg exercises the envshare analyzer: it shares fakesim.Env
+// and fakesim.Machine values across goroutines in the ways the analyzer
+// must flag, plus the owned-per-goroutine patterns it must accept.
+package envpkg
+
+import "fix.example/fakesim"
+
+// CaptureInClosure leaks an Env into a goroutine closure: flagged.
+func CaptureInClosure(env *fakesim.Env) {
+	go func() {
+		env.Step() // want: captured *Env
+	}()
+}
+
+// PassAsArgument hands a Machine to a spawned function: flagged.
+func PassAsArgument(m *fakesim.Machine) {
+	go consume(m) // want: shared *Machine
+}
+
+func consume(m *fakesim.Machine) {}
+
+// SendOverChannel transfers Env ownership through a channel: flagged.
+func SendOverChannel(ch chan *fakesim.Env, env *fakesim.Env) {
+	ch <- env // want: sent over channel
+}
+
+// DoubleUse mentions the same captured Env twice; one finding, not two.
+func DoubleUse(env *fakesim.Env) {
+	go func() {
+		env.Step()
+		env.Step()
+	}()
+}
+
+// OwnedPerGoroutine builds the Env inside the goroutine: no finding.
+func OwnedPerGoroutine() {
+	go func() {
+		env := fakesim.New()
+		env.Step()
+	}()
+}
+
+// PlainValues shares only value types over goroutines and channels: no
+// finding (the analyzer is type-scoped, not a general goroutine ban).
+func PlainValues(ch chan int, n int) {
+	go func() { _ = n + 1 }()
+	ch <- n
+}

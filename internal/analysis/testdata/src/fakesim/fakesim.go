@@ -1,0 +1,27 @@
+// Package fakesim stands in for knlcap/internal/sim in the envshare
+// fixtures: it defines the Env and Machine types the analyzer is
+// configured to protect. Listed in Config.EnvShareExempt (the mechanism
+// package itself), so its own sharing below must stay silent.
+package fakesim
+
+// Env mirrors sim.Env: mutable state owned by one goroutine.
+type Env struct {
+	Now float64
+}
+
+// Machine mirrors machine.Machine.
+type Machine struct {
+	E *Env
+}
+
+// New returns a fresh environment.
+func New() *Env { return &Env{} }
+
+// Step advances the environment.
+func (e *Env) Step() { e.Now++ }
+
+// Pump shares an Env from inside the mechanism package: exempt, no finding.
+func Pump(e *Env, ch chan *Env) {
+	go e.Step()
+	ch <- e
+}

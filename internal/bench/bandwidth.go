@@ -2,6 +2,7 @@ package bench
 
 import (
 	"knlcap/internal/cache"
+	"knlcap/internal/exp"
 	"knlcap/internal/knl"
 	"knlcap/internal/machine"
 	"knlcap/internal/stats"
@@ -55,27 +56,30 @@ func MeasureCacheBandwidths(cfg knl.Config, o Options, sizes []int) CacheBandwid
 	}
 	out := CacheBandwidths{Config: cfg}
 	remoteOwner := knl.NumCores / 2 // a tile far enough to be remote
-	maxOver := func(f func(lines int) float64) float64 {
-		best := 0.0
-		for _, sz := range sizes {
-			if v := f(sz); v > best {
-				best = v
-			}
-		}
-		return best
+	// Four table rows x len(sizes) message sizes, every point an
+	// independent copyOnce on its own machine; each row reports its
+	// maximum median across sizes.
+	rows := []struct {
+		owner int
+		st    cache.State
+		read  bool
+	}{
+		{remoteOwner, cache.Exclusive, true},  // Read
+		{1, cache.Modified, false},            // CopyTileM
+		{1, cache.Exclusive, false},           // CopyTileE
+		{remoteOwner, cache.Exclusive, false}, // CopyRemote
 	}
-	out.Read = maxOver(func(n int) float64 {
-		return copyOnce(cfg, o, remoteOwner, cache.Exclusive, n, true)
+	vals := exp.Run(o.Parallel, len(rows)*len(sizes), func(i int) float64 {
+		r := rows[i/len(sizes)]
+		return copyOnce(cfg, o, r.owner, r.st, sizes[i%len(sizes)], r.read)
 	})
-	out.CopyTileM = maxOver(func(n int) float64 {
-		return copyOnce(cfg, o, 1, cache.Modified, n, false)
-	})
-	out.CopyTileE = maxOver(func(n int) float64 {
-		return copyOnce(cfg, o, 1, cache.Exclusive, n, false)
-	})
-	out.CopyRemote = maxOver(func(n int) float64 {
-		return copyOnce(cfg, o, remoteOwner, cache.Exclusive, n, false)
-	})
+	best := make([]float64, len(rows))
+	for i, v := range vals {
+		if row := i / len(sizes); v > best[row] {
+			best[row] = v
+		}
+	}
+	out.Read, out.CopyTileM, out.CopyTileE, out.CopyRemote = best[0], best[1], best[2], best[3]
 	return out
 }
 
@@ -141,21 +145,17 @@ func MeasureCopyBySize(cfg knl.Config, o Options, sizesBytes []int) []SizePoint 
 			sizesBytes = append(sizesBytes, b)
 		}
 	}
-	var out []SizePoint
-	for _, pl := range []Placement{SameTile, SameQuadrant, RemoteQuadrant} {
-		owner := ownerForPlacement(cfg, pl)
-		for _, st := range []cache.State{cache.Modified, cache.Exclusive} {
-			for _, bytes := range sizesBytes {
-				lines := bytes / knl.LineSize
-				if lines < 1 {
-					lines = 1
-				}
-				gbs := copyOnce(cfg, o, owner, st, lines, false)
-				out = append(out, SizePoint{
-					Placement: pl, State: st, Bytes: lines * knl.LineSize, GBs: gbs,
-				})
-			}
+	placements := []Placement{SameTile, SameQuadrant, RemoteQuadrant}
+	states := []cache.State{cache.Modified, cache.Exclusive}
+	perPl := len(states) * len(sizesBytes)
+	return exp.Run(o.Parallel, len(placements)*perPl, func(i int) SizePoint {
+		pl := placements[i/perPl]
+		st := states[(i%perPl)/len(sizesBytes)]
+		lines := sizesBytes[i%len(sizesBytes)] / knl.LineSize
+		if lines < 1 {
+			lines = 1
 		}
-	}
-	return out
+		gbs := copyOnce(cfg, o, ownerForPlacement(cfg, pl), st, lines, false)
+		return SizePoint{Placement: pl, State: st, Bytes: lines * knl.LineSize, GBs: gbs}
+	})
 }

@@ -43,6 +43,11 @@ type Options struct {
 	// BuffersPerThread is the pool size for random buffer selection
 	// (paper: "random buffers selected from a larger one").
 	BuffersPerThread int
+	// Parallel is the worker-pool size for fanning independent measurement
+	// points (each with its own machine) over host cores; <= 0 means
+	// GOMAXPROCS, 1 runs the points serially in index order. Results are
+	// bit-identical at every setting.
+	Parallel int
 }
 
 // DefaultOptions returns measurement parameters sized for interactive runs.
@@ -56,6 +61,7 @@ func DefaultOptions() Options {
 		Seed:             1,
 		StreamLines:      256,
 		BuffersPerThread: 4,
+		Parallel:         1,
 	}
 }
 

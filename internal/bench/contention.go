@@ -2,6 +2,7 @@ package bench
 
 import (
 	"knlcap/internal/cache"
+	"knlcap/internal/exp"
 	"knlcap/internal/knl"
 	"knlcap/internal/machine"
 	"knlcap/internal/memmode"
@@ -30,7 +31,8 @@ func MeasureContention(cfg knl.Config, o Options, ns []int) ContentionResult {
 		ns = []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 63}
 	}
 	res := ContentionResult{Config: cfg, Ns: ns}
-	for _, n := range ns {
+	res.Medians = exp.Run(o.Parallel, len(ns), func(i int) float64 {
+		n := ns[i]
 		m := machine.New(cfg)
 		shared := m.Alloc.MustAlloc(knl.DDR, 0, knl.LineSize)
 		// Accessors start at core 2 (skip the owner tile).
@@ -53,8 +55,8 @@ func MeasureContention(cfg knl.Config, o Options, ns []int) ContentionResult {
 			th.Load(shared, 0)
 			th.Store(locals[rank], 0)
 		})
-		res.Medians = append(res.Medians, stats.Median(maxes))
-	}
+		return stats.Median(maxes)
+	})
 	xs := make([]float64, len(ns))
 	for i, n := range ns {
 		xs[i] = float64(n)
@@ -87,8 +89,7 @@ func MeasureCongestion(cfg knl.Config, o Options, pairs int) CongestionResult {
 	if pairs <= 0 {
 		pairs = 12
 	}
-	var maxUtil float64
-	run := func(numPairs int) float64 {
+	run := func(numPairs int) (float64, float64) {
 		m := machine.New(cfg)
 		type pair struct {
 			a, b knl.Place
@@ -129,13 +130,19 @@ func MeasureCongestion(cfg knl.Config, o Options, pairs int) CongestionResult {
 		if _, err := m.Run(); err != nil {
 			panic(err)
 		}
-		if u := m.Fabric.Utilization(); u > maxUtil {
-			maxUtil = u
-		}
-		return stats.Median(medians)
+		return stats.Median(medians), m.Fabric.Utilization()
 	}
-	single := run(1)
-	many := run(pairs)
+	type pt struct{ med, util float64 }
+	numPairs := []int{1, pairs}
+	res := exp.Run(o.Parallel, len(numPairs), func(i int) pt {
+		med, util := run(numPairs[i])
+		return pt{med, util}
+	})
+	single, many := res[0].med, res[1].med
+	maxUtil := res[0].util
+	if res[1].util > maxUtil {
+		maxUtil = res[1].util
+	}
 	return CongestionResult{
 		Config:             cfg,
 		SinglePair:         single,

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"knlcap/internal/cache"
+	"knlcap/internal/exp"
 	"knlcap/internal/knl"
 	"knlcap/internal/machine"
 	"knlcap/internal/memmode"
@@ -62,29 +63,49 @@ func MeasureCacheLatencies(cfg knl.Config, o Options, remoteTargets int) CacheLa
 	}
 	out := CacheLatencies{Config: cfg}
 
-	run := func(owner int, st cache.State) float64 {
-		m := machine.New(cfg)
-		b := m.Alloc.MustAlloc(knl.DDR, 0, int64(o.ChaseLen)*knl.LineSize)
-		prime := func() { m.Prime(b, owner, st) }
-		return chase(m, 0, b, o, prime).Median
+	// Every measurement point is one (owner, state) pointer chase on a fresh
+	// machine; list them all, fan out, then assemble rows and bands from the
+	// index-ordered results.
+	type pt struct {
+		owner int
+		st    cache.State
 	}
-
-	out.LocalL1 = run(0, cache.Exclusive)
-	out.TileM = run(1, cache.Modified)
-	out.TileE = run(1, cache.Exclusive)
-	out.TileSF = run(1, cache.Shared)
-
+	pts := []pt{
+		{0, cache.Exclusive}, // LocalL1
+		{1, cache.Modified},  // TileM
+		{1, cache.Exclusive}, // TileE
+		{1, cache.Shared},    // TileSF
+	}
 	// Remote bands: sample owner cores spread over the die.
-	var rm, re, rs, rf []float64
 	step := (knl.NumCores - 2) / remoteTargets
 	if step < 2 {
 		step = 2
 	}
+	remoteStart := len(pts)
 	for owner := 2; owner < knl.NumCores; owner += step {
-		rm = append(rm, run(owner, cache.Modified))
-		re = append(re, run(owner, cache.Exclusive))
-		rs = append(rs, run(owner, cache.Shared))
-		rf = append(rf, run(owner, cache.Forward))
+		pts = append(pts,
+			pt{owner, cache.Modified},
+			pt{owner, cache.Exclusive},
+			pt{owner, cache.Shared},
+			pt{owner, cache.Forward})
+	}
+	meds := exp.Run(o.Parallel, len(pts), func(i int) float64 {
+		m := machine.New(cfg)
+		b := m.Alloc.MustAlloc(knl.DDR, 0, int64(o.ChaseLen)*knl.LineSize)
+		prime := func() { m.Prime(b, pts[i].owner, pts[i].st) }
+		return chase(m, 0, b, o, prime).Median
+	})
+
+	out.LocalL1 = meds[0]
+	out.TileM = meds[1]
+	out.TileE = meds[2]
+	out.TileSF = meds[3]
+	var rm, re, rs, rf []float64
+	for i := remoteStart; i < len(meds); i += 4 {
+		rm = append(rm, meds[i])
+		re = append(re, meds[i+1])
+		rs = append(rs, meds[i+2])
+		rf = append(rf, meds[i+3])
 	}
 	out.RemoteM = RangeOf(rm)
 	out.RemoteE = RangeOf(re)
@@ -106,24 +127,21 @@ type PerCoreLatency struct {
 // (M, E and I in the paper; I means the line is uncached and comes from
 // memory).
 func MeasurePerCoreLatencies(cfg knl.Config, o Options, states []cache.State) []PerCoreLatency {
-	var out []PerCoreLatency
-	for _, st := range states {
-		for owner := 1; owner < knl.NumCores; owner++ {
-			m := machine.New(cfg)
-			b := m.Alloc.MustAlloc(knl.DDR, 0, int64(o.ChaseLen)*knl.LineSize)
-			owner := owner
-			st := st
-			var prime func()
-			if st == cache.Invalid {
-				prime = func() { m.FlushBuffer(b) }
-			} else {
-				prime = func() { m.Prime(b, owner, st) }
-			}
-			s := chase(m, 0, b, o, prime)
-			out = append(out, PerCoreLatency{Core: owner, State: st, Latency: s.Median})
+	const owners = knl.NumCores - 1
+	return exp.Run(o.Parallel, len(states)*owners, func(i int) PerCoreLatency {
+		st := states[i/owners]
+		owner := 1 + i%owners
+		m := machine.New(cfg)
+		b := m.Alloc.MustAlloc(knl.DDR, 0, int64(o.ChaseLen)*knl.LineSize)
+		var prime func()
+		if st == cache.Invalid {
+			prime = func() { m.FlushBuffer(b) }
+		} else {
+			prime = func() { m.Prime(b, owner, st) }
 		}
-	}
-	return out
+		s := chase(m, 0, b, o, prime)
+		return PerCoreLatency{Core: owner, State: st, Latency: s.Median}
+	})
 }
 
 // MemLatencies holds the Table II latency rows for one configuration.
@@ -182,10 +200,17 @@ func MeasureMemLatencies(cfg knl.Config, o Options) MemLatencies {
 	// allocations; transparent modes give a single value.
 	if cfg.Cluster.NUMAVisible() {
 		n := cfg.Cluster.Clusters()
+		meds := exp.Run(o.Parallel, 2*n, func(i int) float64 {
+			kind := knl.DDR
+			if i%2 == 1 {
+				kind = knl.MCDRAM
+			}
+			return measure(kind, i/2)
+		})
 		var dr, mc []float64
-		for aff := 0; aff < n; aff++ {
-			dr = append(dr, measure(knl.DDR, aff))
-			mc = append(mc, measure(knl.MCDRAM, aff))
+		for i := 0; i < len(meds); i += 2 {
+			dr = append(dr, meds[i])
+			mc = append(mc, meds[i+1])
 		}
 		out.DRAM = RangeOf(dr)
 		out.MCDRAM = RangeOf(mc)

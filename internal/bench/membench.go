@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"knlcap/internal/exp"
 	"knlcap/internal/knl"
 	"knlcap/internal/machine"
 	"knlcap/internal/memmode"
@@ -262,13 +263,15 @@ func MaxMedianBandwidth(cfg knl.Config, o Options, k StreamKernel,
 	if len(scheds) == 0 {
 		scheds = []knl.Schedule{knl.FillTiles, knl.Compact}
 	}
+	pts := exp.Run(o.Parallel, len(scheds)*len(threadCounts), func(i int) MemBWPoint {
+		sc := scheds[i/len(threadCounts)]
+		n := threadCounts[i%len(threadCounts)]
+		return MeasureMemBandwidth(cfg, o, k, kind, nt, n, sc)
+	})
 	var best MemBWPoint
-	for _, sc := range scheds {
-		for _, n := range threadCounts {
-			p := MeasureMemBandwidth(cfg, o, k, kind, nt, n, sc)
-			if p.GBs > best.GBs {
-				best = p
-			}
+	for _, p := range pts {
+		if p.GBs > best.GBs {
+			best = p
 		}
 	}
 	return best
@@ -280,11 +283,9 @@ func TriadSweep(cfg knl.Config, o Options, sched knl.Schedule, counts []int) []M
 	if len(counts) == 0 {
 		counts = []int{1, 4, 8, 16, 32, 64, 128, 256}
 	}
-	var out []MemBWPoint
-	for _, kind := range []knl.MemKind{knl.MCDRAM, knl.DDR} {
-		for _, n := range counts {
-			out = append(out, MeasureMemBandwidth(cfg, o, KernelTriad, kind, true, n, sched))
-		}
-	}
-	return out
+	kinds := []knl.MemKind{knl.MCDRAM, knl.DDR}
+	return exp.Run(o.Parallel, len(kinds)*len(counts), func(i int) MemBWPoint {
+		return MeasureMemBandwidth(cfg, o, KernelTriad, kinds[i/len(counts)], true,
+			counts[i%len(counts)], sched)
+	})
 }

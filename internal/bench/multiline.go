@@ -2,6 +2,7 @@ package bench
 
 import (
 	"knlcap/internal/cache"
+	"knlcap/internal/exp"
 	"knlcap/internal/knl"
 	"knlcap/internal/machine"
 	"knlcap/internal/stats"
@@ -37,7 +38,8 @@ func MeasureMultiLine(cfg knl.Config, o Options, st cache.State, lineCounts []in
 	}
 	out := MultiLineFit{Config: cfg, State: st, Lines: lineCounts}
 	owner := knl.NumCores / 2
-	for _, n := range lineCounts {
+	out.Medians = exp.Run(o.Parallel, len(lineCounts), func(i int) float64 {
+		n := lineCounts[i]
 		m := machine.New(cfg)
 		src := m.Alloc.MustAlloc(knl.DDR, 0, int64(n)*knl.LineSize)
 		dst := m.Alloc.MustAlloc(knl.DDR, 0, int64(n)*knl.LineSize)
@@ -54,8 +56,8 @@ func MeasureMultiLine(cfg knl.Config, o Options, st cache.State, lineCounts []in
 		if _, err := m.Run(); err != nil {
 			panic(err)
 		}
-		out.Medians = append(out.Medians, stats.Median(vals))
-	}
+		return stats.Median(vals)
+	})
 	xs := make([]float64, len(lineCounts))
 	for i, n := range lineCounts {
 		xs[i] = float64(n)

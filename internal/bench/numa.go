@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"knlcap/internal/exp"
 	"knlcap/internal/knl"
 	"knlcap/internal/machine"
 	"knlcap/internal/memmode"
@@ -51,8 +52,9 @@ func MeasureNUMAAblation(cfg knl.Config, o Options, threads int) []NUMAPoint {
 	if !cfg.Cluster.NUMAVisible() {
 		panic("bench: NUMA ablation requires an SNC mode")
 	}
-	var out []NUMAPoint
-	for _, pol := range []NUMAPolicy{NUMALocal, NUMANode0, NUMARoundRobin} {
+	policies := []NUMAPolicy{NUMALocal, NUMANode0, NUMARoundRobin}
+	return exp.Run(o.Parallel, len(policies), func(pi int) NUMAPoint {
+		pol := policies[pi]
 		m := machine.New(cfg)
 		places := placesFor(knl.FillTiles, threads)
 		fp := knl.NewFloorplan(cfg.YieldSeed)
@@ -97,9 +99,8 @@ func MeasureNUMAAblation(cfg knl.Config, o Options, threads int) []NUMAPoint {
 		for i, d := range maxes {
 			vals[i] = counted / d
 		}
-		out = append(out, NUMAPoint{Policy: pol, Threads: threads, GBs: stats.Median(vals)})
-	}
-	return out
+		return NUMAPoint{Policy: pol, Threads: threads, GBs: stats.Median(vals)}
+	})
 }
 
 type bufHandle struct{ buf memmode.Buffer }

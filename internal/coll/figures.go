@@ -3,6 +3,7 @@ package coll
 import (
 	"knlcap/internal/bench"
 	"knlcap/internal/core"
+	"knlcap/internal/exp"
 	"knlcap/internal/knl"
 )
 
@@ -33,15 +34,21 @@ func MeasureFigure(cfg knl.Config, model *core.Model, o bench.Options, op Op,
 	if len(counts) == 0 {
 		counts = []int{2, 4, 8, 16, 32, 64}
 	}
-	var out []FigurePoint
-	for _, n := range counts {
-		p := DefaultParams(n, sched)
-		out = append(out, FigurePoint{
+	// Each (thread count, algorithm) measurement runs on its own machine;
+	// fan the 3*len(counts) points out and reassemble per-count triples.
+	algs := []Algorithm{Tuned, OMP, MPI}
+	flat := exp.Run(o.Parallel, len(counts)*len(algs), func(i int) Result {
+		p := DefaultParams(counts[i/len(algs)], sched)
+		return Measure(cfg, model, o, op, algs[i%len(algs)], p)
+	})
+	out := make([]FigurePoint, len(counts))
+	for ci, n := range counts {
+		out[ci] = FigurePoint{
 			Threads: n,
-			Tuned:   Measure(cfg, model, o, op, Tuned, p),
-			OMP:     Measure(cfg, model, o, op, OMP, p),
-			MPI:     Measure(cfg, model, o, op, MPI, p),
-		})
+			Tuned:   flat[ci*len(algs)],
+			OMP:     flat[ci*len(algs)+1],
+			MPI:     flat[ci*len(algs)+2],
+		}
 	}
 	return out
 }

@@ -1,0 +1,35 @@
+package exp_test
+
+import (
+	"runtime"
+	"testing"
+
+	"knlcap/internal/bench"
+	"knlcap/internal/knl"
+)
+
+// BenchmarkSweepParallel measures the wall-clock effect of fanning a
+// Figure 9 style triad sweep over the worker pool: the serial and
+// GOMAXPROCS variants run the identical point set, so the ratio of their
+// ns/op is the experiment engine's speedup on this host (~1x on a 1-core
+// runner, approaching the core count on larger machines).
+func BenchmarkSweepParallel(b *testing.B) {
+	cfg := knl.DefaultConfig()
+	o := bench.DefaultOptions().Quick()
+	counts := []int{1, 4, 8, 16}
+	run := func(parallel int) func(b *testing.B) {
+		return func(b *testing.B) {
+			o := o
+			o.Parallel = parallel
+			b.ReportMetric(float64(parallel), "workers")
+			for i := 0; i < b.N; i++ {
+				pts := bench.TriadSweep(cfg, o, knl.FillTiles, counts)
+				if len(pts) != 2*len(counts) {
+					b.Fatalf("triad sweep returned %d points", len(pts))
+				}
+			}
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("gomaxprocs", run(runtime.GOMAXPROCS(0)))
+}

@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunOrder checks that results come back in index order for both the
+// serial and parallel paths, whatever order the points complete in.
+func TestRunOrder(t *testing.T) {
+	const n = 100
+	for _, par := range []int{1, 4, 0} {
+		got := Run(par, n, func(i int) int { return i * i })
+		if len(got) != n {
+			t.Fatalf("parallel=%d: %d results, want %d", par, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallel=%d: result[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunEmpty checks the degenerate sizes.
+func TestRunEmpty(t *testing.T) {
+	if got := Run(4, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("n=0: got %v, want nil", got)
+	}
+	if got := Run(4, -3, func(i int) int { return i }); got != nil {
+		t.Fatalf("n<0: got %v, want nil", got)
+	}
+	if got := Run(4, 1, func(i int) int { return 42 }); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("n=1: got %v, want [42]", got)
+	}
+}
+
+// TestWorkers checks the worker-count resolution rules.
+func TestWorkers(t *testing.T) {
+	if w := (Config{Parallel: 8}).Workers(3); w != 3 {
+		t.Errorf("workers capped at n: got %d, want 3", w)
+	}
+	if w := (Config{Parallel: 2}).Workers(100); w != 2 {
+		t.Errorf("explicit parallel: got %d, want 2", w)
+	}
+	if w := (Config{Parallel: -1}).Workers(1000); w < 1 {
+		t.Errorf("GOMAXPROCS default resolved to %d", w)
+	}
+	if w := (Config{Parallel: 1}).Workers(0); w != 1 {
+		t.Errorf("n=0 floor: got %d, want 1", w)
+	}
+}
+
+// TestProgress checks that Progress sees every completion exactly once with
+// a monotonically increasing done count, and that the final call reports
+// done == total.
+func TestProgress(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		const n = 50
+		last := 0
+		calls := 0
+		cfg := Config{Parallel: par, Progress: func(done, total int) {
+			calls++
+			if total != n {
+				t.Fatalf("parallel=%d: total = %d, want %d", par, total, n)
+			}
+			if done != last+1 {
+				t.Fatalf("parallel=%d: done jumped %d -> %d", par, last, done)
+			}
+			last = done
+		}}
+		if _, ok := RunCfg(cfg, n, func(i int) int { return i }); !ok {
+			t.Fatalf("parallel=%d: RunCfg reported canceled", par)
+		}
+		if calls != n || last != n {
+			t.Fatalf("parallel=%d: %d progress calls ending at %d, want %d", par, calls, last, n)
+		}
+	}
+}
+
+// TestCancel checks that cancellation stops new points from starting and is
+// reported through the ok result.
+func TestCancel(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		var started atomic.Int64
+		cfg := Config{Parallel: par, Cancel: func() bool { return started.Load() >= 10 }}
+		got, ok := RunCfg(cfg, 1000, func(i int) int {
+			started.Add(1)
+			return i + 1
+		})
+		if ok {
+			t.Fatalf("parallel=%d: RunCfg reported complete despite cancel", par)
+		}
+		if len(got) != 1000 {
+			t.Fatalf("parallel=%d: result slice resized to %d", par, len(got))
+		}
+		s := started.Load()
+		if s < 10 || s > 10+int64(par) {
+			t.Fatalf("parallel=%d: %d points started, want ~10", par, s)
+		}
+	}
+}
+
+// TestPanicPropagation checks that a panic in a point surfaces on the
+// caller, and that with several panicking points the lowest index wins so
+// the surfaced failure is deterministic.
+func TestPanicPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	for _, par := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("parallel=%d: panic did not propagate", par)
+				}
+				got, ok := r.([]interface{})
+				if !ok || len(got) != 2 || got[0] != 7 || got[1] != boom {
+					t.Fatalf("parallel=%d: recovered %v, want [7 boom]", par, r)
+				}
+			}()
+			Run(par, 64, func(i int) int {
+				if i >= 7 {
+					panic([]interface{}{i, boom})
+				}
+				return i
+			})
+		}()
+	}
+}
+
+// TestPointSeed checks that point seeds are distinct across a large sweep
+// and stable as a pure function of (base, index).
+func TestPointSeed(t *testing.T) {
+	seen := make(map[uint64]int, 4096)
+	for i := 0; i < 4096; i++ {
+		s := PointSeed(7210, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("PointSeed collision: index %d and %d both map to %#x", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if PointSeed(7210, 100) != PointSeed(7210, 100) {
+		t.Fatal("PointSeed is not a pure function")
+	}
+	if PointSeed(7210, 0) == PointSeed(7211, 0) {
+		t.Fatal("PointSeed ignores the base seed")
+	}
+}
+
+// TestRunParallelStress hammers the pool with many more points than
+// workers; run under -race this exercises the distinct-index result writes
+// and the progress mutex.
+func TestRunParallelStress(t *testing.T) {
+	const n = 2000
+	var sum atomic.Int64
+	got := Run(8, n, func(i int) int {
+		sum.Add(int64(i))
+		return i
+	})
+	var want int64
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+		want += int64(i)
+	}
+	if sum.Load() != want {
+		t.Fatalf("points ran %d total, want %d", sum.Load(), want)
+	}
+}

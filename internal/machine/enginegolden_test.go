@@ -1,0 +1,66 @@
+package machine
+
+import (
+	"testing"
+
+	"knlcap/internal/knl"
+)
+
+// engineGolden pins the digestWorkload outcome for every cluster x memory
+// mode to the values produced by the original container/heap + two-channel
+// scheduler ("the seed engine"). The event-queue and handoff rewrites in
+// internal/sim must not move a single bit of simulated state: an engine
+// optimization that changes any digest, event count, or end time here is a
+// semantic change, not an optimization.
+//
+// The cache and hybrid columns coincide because the workload's footprint
+// fits inside the side cache at both capacities, making the two policies
+// behave identically for it.
+var engineGolden = []struct {
+	name   string
+	digest uint64
+	events uint64
+	end    float64
+}{
+	{"SNC4-flat", 0x03ec7164247bed17, 3115, 4153.14996817889},
+	{"SNC2-flat", 0x60552f07a7d6b18c, 3108, 4176.320366807368},
+	{"QUAD-flat", 0xfbe2f139a6cda3cc, 3125, 3942.7226754982066},
+	{"HEM-flat", 0xd6529b9824a1df23, 3092, 3665.5173335245745},
+	{"A2A-flat", 0xa6d0e35221a37a3c, 3162, 3856.876121258566},
+	{"SNC4-cache", 0xb542cb400e294eae, 3288, 4687.529357320809},
+	{"SNC2-cache", 0x32ceafe70e829991, 3325, 4342.769426650932},
+	{"QUAD-cache", 0xc41dbd947aad1391, 3338, 4036.630044293043},
+	{"HEM-cache", 0x53309754564fe5ac, 3362, 3935.312590278271},
+	{"A2A-cache", 0x59debdac833ad92e, 3283, 3965.8933212082375},
+	{"SNC4-hybrid", 0xb542cb400e294eae, 3288, 4687.529357320809},
+	{"SNC2-hybrid", 0x32ceafe70e829991, 3325, 4342.769426650932},
+	{"QUAD-hybrid", 0xc41dbd947aad1391, 3338, 4036.630044293043},
+	{"HEM-hybrid", 0x53309754564fe5ac, 3362, 3935.312590278271},
+	{"A2A-hybrid", 0x59debdac833ad92e, 3283, 3965.8933212082375},
+}
+
+// TestEngineGoldenDigests runs the seeded mixed workload on every cluster
+// and memory mode and compares digest, event count, and end time against
+// the seed engine's recorded values.
+func TestEngineGoldenDigests(t *testing.T) {
+	i := 0
+	for _, mm := range []knl.MemoryMode{knl.Flat, knl.CacheMode, knl.Hybrid} {
+		for _, cfg := range knl.AllConfigs(mm) {
+			want := engineGolden[i]
+			i++
+			if cfg.Name() != want.name {
+				t.Fatalf("config order drifted: got %s, want %s", cfg.Name(), want.name)
+			}
+			d, ev, end := digestWorkload(t, cfg, 20260806)
+			if d != want.digest {
+				t.Errorf("%s: digest %#016x, want %#016x (seed engine)", want.name, d, want.digest)
+			}
+			if ev != want.events {
+				t.Errorf("%s: %d events, want %d (seed engine)", want.name, ev, want.events)
+			}
+			if end != want.end {
+				t.Errorf("%s: end time %v, want %v (seed engine)", want.name, end, want.end)
+			}
+		}
+	}
+}

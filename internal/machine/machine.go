@@ -71,8 +71,23 @@ func New(cfg knl.Config) *Machine {
 	return NewWithParams(cfg, DefaultParams())
 }
 
+// NewSeeded builds a machine whose jitter stream derives from an explicit
+// seed instead of cfg.YieldSeed, so parallel sweeps can give every point a
+// decorrelated machine (exp.PointSeed) without varying the configuration.
+func NewSeeded(cfg knl.Config, seed uint64) *Machine {
+	return NewSeededWithParams(cfg, DefaultParams(), seed)
+}
+
 // NewWithParams builds a machine with explicit timing parameters.
 func NewWithParams(cfg knl.Config, p Params) *Machine {
+	return NewSeededWithParams(cfg, p, cfg.YieldSeed)
+}
+
+// NewSeededWithParams builds a machine with explicit timing parameters and
+// an explicit jitter seed. The floorplan keeps using cfg.YieldSeed so the
+// machine's topology stays a function of the configuration alone; only the
+// jitter RNG stream varies with the seed.
+func NewSeededWithParams(cfg knl.Config, p Params, seed uint64) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -92,7 +107,7 @@ func NewWithParams(cfg knl.Config, p Params) *Machine {
 		dir:      make(map[cache.Line]uint64),
 		words:    make(map[cache.Line]uint64),
 		watchers: make(map[cache.Line]*sim.Signal),
-		rng:      stats.NewRNG(cfg.YieldSeed ^ 0x6a17),
+		rng:      stats.NewRNG(seed ^ 0x6a17),
 	}
 	for t := 0; t < fp.NumTiles(); t++ {
 		m.tiles = append(m.tiles, &tileState{

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"knlcap/internal/core"
+	"knlcap/internal/exp"
 	"knlcap/internal/knl"
 	"knlcap/internal/machine"
 	"knlcap/internal/stats"
@@ -122,12 +123,24 @@ func Simulate(cfg knl.Config, p SimParams) float64 {
 // the residual linearly in the thread count (Section V-B.2).
 func FitOverhead(cfg knl.Config, model *core.Model, kind knl.MemKind,
 	threadCounts []int) core.OverheadModel {
+	return FitOverheadParallel(cfg, model, kind, threadCounts, 1)
+}
+
+// FitOverheadParallel is FitOverhead with the thread-count points fanned
+// over `parallel` workers (each Simulate owns its machine; the fit is
+// identical at every setting).
+func FitOverheadParallel(cfg knl.Config, model *core.Model, kind knl.MemKind,
+	threadCounts []int, parallel int) core.OverheadModel {
 	if len(threadCounts) == 0 {
 		threadCounts = []int{1, 2, 4, 8, 16, 32, 64}
 	}
 	const lines = 16 // 1 KB of int32
-	var xs, ys []float64
-	for _, tc := range threadCounts {
+	xs := make([]float64, len(threadCounts))
+	for i, tc := range threadCounts {
+		xs[i] = float64(tc)
+	}
+	ys := exp.Run(parallel, len(threadCounts), func(i int) float64 {
+		tc := threadCounts[i]
 		sp := DefaultSimParams(lines, tc, kind)
 		measured := Simulate(cfg, sp)
 		mp := core.DefaultSortParams(model, lines, effectiveThreads(lines*16, tc), kind)
@@ -136,9 +149,8 @@ func FitOverhead(cfg knl.Config, model *core.Model, kind knl.MemKind,
 		if resid < 0 {
 			resid = 0
 		}
-		xs = append(xs, float64(tc))
-		ys = append(ys, resid)
-	}
+		return resid
+	})
 	fit, err := stats.LinReg(xs, ys)
 	if err != nil {
 		return core.OverheadModel{}
@@ -161,15 +173,22 @@ type Figure10Point struct {
 // curves across thread counts for a given input size and memory kind.
 func Figure10(cfg knl.Config, model *core.Model, oh core.OverheadModel,
 	totalLines int, kind knl.MemKind, threadCounts []int) []Figure10Point {
+	return Figure10Parallel(cfg, model, oh, totalLines, kind, threadCounts, 1)
+}
+
+// Figure10Parallel is Figure10 with the thread-count points fanned over
+// `parallel` workers.
+func Figure10Parallel(cfg knl.Config, model *core.Model, oh core.OverheadModel,
+	totalLines int, kind knl.MemKind, threadCounts []int, parallel int) []Figure10Point {
 	if len(threadCounts) == 0 {
 		threadCounts = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 	}
-	var out []Figure10Point
-	for _, tc := range threadCounts {
+	return exp.Run(parallel, len(threadCounts), func(i int) Figure10Point {
+		tc := threadCounts[i]
 		eff := effectiveThreads(totalLines*16, tc)
 		sp := DefaultSimParams(totalLines, tc, kind)
 		mp := core.DefaultSortParams(model, totalLines, eff, kind)
-		pt := Figure10Point{
+		return Figure10Point{
 			Threads:    tc,
 			MeasuredNs: Simulate(cfg, sp),
 			MemLatNs:   model.SortCost(mp, false),
@@ -178,7 +197,5 @@ func Figure10(cfg knl.Config, model *core.Model, oh core.OverheadModel,
 			FullBWNs:   model.FullSortCost(mp, oh, true),
 			OverCutoff: model.EfficiencyCutoff(mp, oh),
 		}
-		out = append(out, pt)
-	}
-	return out
+	})
 }

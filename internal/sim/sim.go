@@ -7,14 +7,20 @@
 // Events that fire at the same timestamp are executed in FIFO scheduling
 // order, so runs are exactly reproducible.
 //
+// Scheduling is a direct handoff: the process ceding control pops the next
+// event itself and resumes its process over that process's private channel,
+// so a step costs one channel transfer instead of the classic two (worker
+// to scheduler, scheduler to next worker) — and when the next event belongs
+// to the ceding process itself, the step costs no channel operation at all.
+// The event queue is a concrete 4-ary heap over a slice of event values and
+// resume channels are recycled through a free list, so the steady-state
+// per-event path performs no allocation.
+//
 // Time is in nanoseconds (float64), matching the units of the capability
 // model in the paper.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is simulated time in nanoseconds.
 type Time = float64
@@ -26,23 +32,67 @@ type event struct {
 	proc *Proc
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (time, scheduling sequence); seq is unique, so
+// the order is total and independent of heap shape.
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// eventQueue is a 4-ary min-heap of events. A 4-ary layout halves the tree
+// depth of a binary heap and keeps the four children of a node in one or
+// two cache lines; the concrete element type avoids the interface{} boxing
+// that container/heap imposes on every Push and Pop.
+type eventQueue struct {
+	h []event
+}
+
+func (q *eventQueue) len() int { return len(q.h) }
+
+func (q *eventQueue) push(ev event) {
+	q.h = append(q.h, ev)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventLess(q.h[i], q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = event{} // drop the proc pointer so retired processes collect
+	q.h = q.h[:n]
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(q.h[c], q.h[min]) {
+				min = c
+			}
+		}
+		if !eventLess(q.h[min], q.h[i]) {
+			break
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+	return top
 }
 
 // Env is a simulation environment: an event queue, a clock, and the set of
@@ -51,19 +101,16 @@ func (h *eventHeap) Pop() interface{} {
 type Env struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
-	sched   chan schedMsg
-	live    int // processes spawned and not yet finished
-	blocked int // processes waiting on a Signal or Resource (no event queued)
-}
-
-type schedMsg struct {
-	finished bool
+	events  eventQueue
+	driver  chan struct{}   // wakes Run when the event queue drains
+	free    []chan struct{} // recycled resume channels of retired processes
+	live    int             // processes spawned and not yet finished
+	blocked int             // processes waiting on a Signal or Resource (no event queued)
 }
 
 // NewEnv returns an empty simulation at time 0.
 func NewEnv() *Env {
-	return &Env{sched: make(chan schedMsg)}
+	return &Env{driver: make(chan struct{})}
 }
 
 // Now returns the current simulated time.
@@ -108,28 +155,72 @@ func (e *Env) GoAt(at Time, name string, fn func(p *Proc)) *Proc {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: GoAt(%v) in the past (now %v)", at, e.now))
 	}
-	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	p := &Proc{env: e, name: name, resume: e.newResume()}
 	e.live++
-	//lint:ignore determinism this goroutine IS the process mechanism; the resume/sched handshake ensures exactly one runs at a time
+	//lint:ignore determinism this goroutine IS the process mechanism; the direct-handoff protocol ensures exactly one runs at a time
 	go func() {
 		<-p.resume
 		fn(p)
-		e.sched <- schedMsg{finished: true}
+		e.live--
+		e.retire(p)
 	}()
 	e.schedule(p, at)
 	return p
 }
 
+// newResume takes a resume channel from the free list, or allocates one
+// when the list is empty.
+func (e *Env) newResume() chan struct{} {
+	if n := len(e.free); n > 0 {
+		ch := e.free[n-1]
+		e.free = e.free[:n-1]
+		return ch
+	}
+	return make(chan struct{})
+}
+
+// retire recycles the finished process's resume channel and hands control
+// to the next event (or back to Run). Runs as the process's final act, so
+// the channel is empty and no other goroutine can touch it again.
+func (e *Env) retire(p *Proc) {
+	e.free = append(e.free, p.resume)
+	p.resume = nil
+	e.cede(nil)
+}
+
 // schedule queues a resumption of p at time at.
 func (e *Env) schedule(p *Proc, at Time) {
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+	e.events.push(event{at: at, seq: e.seq, proc: p})
 }
 
-// yield transfers control from the running process back to the scheduler and
-// blocks until the process is resumed by its next event.
+// cede pops the next event, advances the clock, and transfers control to
+// that event's process; with an empty queue it wakes the driver (Run)
+// instead. When the next event belongs to self, cede reports true and the
+// caller simply keeps running — no channel operation at all.
+func (e *Env) cede(self *Proc) bool {
+	if e.events.len() == 0 {
+		e.driver <- struct{}{}
+		return false
+	}
+	ev := e.events.pop()
+	if ev.at < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.at
+	if ev.proc == self {
+		return true
+	}
+	ev.proc.resume <- struct{}{}
+	return false
+}
+
+// yield transfers control from the running process to the next event and
+// blocks until the process is resumed by its own next event.
 func (p *Proc) yield() {
-	p.env.sched <- schedMsg{}
+	if p.env.cede(p) {
+		return // we are the next event: keep running
+	}
 	<-p.resume
 }
 
@@ -157,7 +248,7 @@ func (p *Proc) WaitUntil(t Time) {
 // env.schedule(p, ...) to resume it. Used by Resource and Signal.
 func (p *Proc) block() {
 	p.env.blocked++
-	p.env.sched <- schedMsg{}
+	p.env.cede(nil) // a blocked process has no queued event: never self
 	<-p.resume
 }
 
@@ -167,22 +258,15 @@ func (e *Env) unblock(p *Proc) {
 	e.schedule(p, e.now)
 }
 
-// Run executes events until the queue is empty, then returns the final
-// simulated time. If processes remain blocked on Signals or Resources when
-// the queue drains, Run returns ErrDeadlock (the usual cause is a collective
-// algorithm bug: a flag that is polled but never set).
+// Run hands control into the process web and returns when the event queue
+// drains, with the final simulated time. If processes remain blocked on
+// Signals or Resources at that point, Run returns ErrDeadlock (the usual
+// cause is a collective algorithm bug: a flag that is polled but never
+// set).
 func (e *Env) Run() (Time, error) {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(event)
-		if ev.at < e.now {
-			panic("sim: time went backwards")
-		}
-		e.now = ev.at
-		ev.proc.resume <- struct{}{}
-		msg := <-e.sched
-		if msg.finished {
-			e.live--
-		}
+	if e.events.len() > 0 {
+		e.cede(nil)
+		<-e.driver
 	}
 	if e.blocked > 0 {
 		return e.now, fmt.Errorf("sim: deadlock: %w (%d blocked, %d live)",

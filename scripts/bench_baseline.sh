@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# bench_baseline.sh — record the performance trajectory of the simulation
+# engine and the parallel experiment runner in BENCH_sweep.json.
+#
+#   scripts/bench_baseline.sh            # run benchmarks, write BENCH_sweep.json
+#   BENCHTIME=2s scripts/bench_baseline.sh
+#
+# The JSON holds two blocks:
+#   baseline — the pre-optimization engine (container/heap + two-channel
+#              scheduler), measured once before the rewrite and kept fixed
+#              as the comparison point;
+#   current  — this checkout, measured now: engine event throughput
+#              (ns/event, events/s, allocs/op) and the Figure 9 triad
+#              sweep wall-clock at -parallel 1 vs GOMAXPROCS.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1s}"
+out="BENCH_sweep.json"
+
+engine=$(go test -bench=EngineEventThroughput -benchmem -benchtime="$benchtime" -run '^$' ./internal/sim/)
+sweep=$(go test -bench=SweepParallel -benchtime=1x -run '^$' ./internal/exp/)
+
+# go test -bench output:
+# BenchmarkEngineEventThroughput  N  <ns/op> ns/op  <ev/s> events/s  <ns/ev> ns/event  <B> B/op  <allocs> allocs/op
+read -r ns_op events_s ns_event b_op allocs_op <<EOF
+$(echo "$engine" | awk '/^BenchmarkEngineEventThroughput/ {
+    for (i = 1; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "events/s")  ev = $(i-1)
+        if ($i == "ns/event")  ne = $(i-1)
+        if ($i == "B/op")      b  = $(i-1)
+        if ($i == "allocs/op") a  = $(i-1)
+    }
+    print ns, ev, ne, b, a
+}')
+EOF
+
+serial_ns=$(echo "$sweep" | awk '/SweepParallel\/serial/     { for (i=1;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')
+par_ns=$(echo "$sweep"    | awk '/SweepParallel\/gomaxprocs/ { for (i=1;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')
+speedup=$(awk -v s="$serial_ns" -v p="$par_ns" 'BEGIN { printf "%.2f", s / p }')
+cores=$(go env GOMAXPROCS 2>/dev/null || echo "")
+[ -n "$cores" ] || cores=$(getconf _NPROCESSORS_ONLN)
+
+cat > "$out" <<EOF
+{
+  "comment": "engine + sweep performance trajectory; regenerate with scripts/bench_baseline.sh",
+  "baseline": {
+    "engine": "container/heap + two-channel scheduler (pre-rewrite)",
+    "event_throughput": {
+      "ns_per_op": 2748,
+      "ns_per_event": 687.1,
+      "events_per_sec": 1455367,
+      "bytes_per_op": 192,
+      "allocs_per_op": 8
+    },
+    "process_handoff_ns_per_op": 592.8,
+    "spawn_churn": { "ns_per_op": 2218, "bytes_per_op": 320, "allocs_per_op": 9 },
+    "sweep": "serial only (no -parallel)"
+  },
+  "current": {
+    "engine": "4-ary slice heap + direct handoff + resume-channel free list",
+    "gomaxprocs": $cores,
+    "event_throughput": {
+      "ns_per_op": $ns_op,
+      "ns_per_event": $ns_event,
+      "events_per_sec": $events_s,
+      "bytes_per_op": $b_op,
+      "allocs_per_op": $allocs_op
+    },
+    "fig9_triad_sweep": {
+      "serial_ns_per_op": $serial_ns,
+      "gomaxprocs_ns_per_op": $par_ns,
+      "speedup": $speedup
+    }
+  }
+}
+EOF
+
+echo "wrote $out:"
+cat "$out"
