@@ -33,7 +33,7 @@ func BenchmarkFigure1TunedTree(b *testing.B) {
 	model := core.Default()
 	var cost float64
 	for i := 0; i < b.N; i++ {
-		cost = tune.Reduce(model, 32).CostNs
+		cost = tune.Reduce(model, 32).CostNs.Float()
 	}
 	b.ReportMetric(cost, "model-ns")
 }
@@ -194,7 +194,7 @@ func BenchmarkFigure10Sort(b *testing.B) {
 	var measured, memBW float64
 	for i := 0; i < b.N; i++ {
 		pts := msort.Figure10(cfg, model, oh, 4096, knl.DDR, []int{16})
-		measured, memBW = pts[0].MeasuredNs, pts[0].MemBWNs
+		measured, memBW = pts[0].MeasuredNs.Float(), pts[0].MemBWNs.Float()
 	}
 	b.ReportMetric(measured, "measured-ns")
 	b.ReportMetric(measured/memBW, "vs-mem-model")
@@ -210,7 +210,7 @@ func BenchmarkHeadlineMCDRAMSortClaim(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		d := msort.Simulate(cfg, msort.DefaultSimParams(16384, 32, knl.DDR))
 		mc := msort.Simulate(cfg, msort.DefaultSimParams(16384, 32, knl.MCDRAM))
-		sortGain = d / mc
+		sortGain = d.Float() / mc.Float()
 		td := bench.MeasureMemBandwidth(cfg, o, bench.KernelTriad, knl.DDR, true, 128, knl.FillTiles).GBs
 		tm := bench.MeasureMemBandwidth(cfg, o, bench.KernelTriad, knl.MCDRAM, true, 128, knl.FillTiles).GBs
 		triadGain = tm / td
@@ -227,9 +227,9 @@ func BenchmarkAblationTreeShapes(b *testing.B) {
 	model := core.Default()
 	var tuned, binomial, flat float64
 	for i := 0; i < b.N; i++ {
-		tuned = tune.Broadcast(model, 32).CostNs
-		binomial = model.BroadcastCost(core.BinomialTree(32))
-		flat = model.BroadcastCost(core.FlatTree(32))
+		tuned = tune.Broadcast(model, 32).CostNs.Float()
+		binomial = model.BroadcastCost(core.BinomialTree(32)).Float()
+		flat = model.BroadcastCost(core.FlatTree(32)).Float()
 	}
 	b.ReportMetric(binomial/tuned, "binomial-vs-tuned")
 	b.ReportMetric(flat/tuned, "flat-vs-tuned")
@@ -241,8 +241,8 @@ func BenchmarkAblationBarrierFanout(b *testing.B) {
 	model := core.Default()
 	var tuned, m1 float64
 	for i := 0; i < b.N; i++ {
-		tuned = model.BarrierCost(64, tune.Barrier(model, 64).M)
-		m1 = model.BarrierCost(64, 1)
+		tuned = model.BarrierCost(64, tune.Barrier(model, 64).M).Float()
+		m1 = model.BarrierCost(64, 1).Float()
 	}
 	b.ReportMetric(m1/tuned, "m1-vs-tuned")
 }
@@ -357,8 +357,8 @@ func BenchmarkRooflineVsCapability(b *testing.B) {
 	var capGain float64
 	for i := 0; i < b.N; i++ {
 		lines := (16 << 20) / knl.LineSize
-		capGain = model.SortCost(core.DefaultSortParams(model, lines, 64, knl.DDR), true) /
-			model.SortCost(core.DefaultSortParams(model, lines, 64, knl.MCDRAM), true)
+		capGain = model.SortCost(core.DefaultSortParams(model, lines, 64, knl.DDR), true).Float() /
+			model.SortCost(core.DefaultSortParams(model, lines, 64, knl.MCDRAM), true).Float()
 	}
 	b.ReportMetric(5.46, "roofline-predicted-gain")
 	b.ReportMetric(capGain, "capability-predicted-gain")

@@ -25,8 +25,13 @@ go vet ./...
 step "go build ./..."
 go build ./...
 
-step "knl-lint ./..."
-go run ./cmd/knl-lint ./...
+step "knl-lint ./... (archiving lint.json)"
+# Archive the machine-readable findings even on a clean run ([]): CI
+# consumers diff lint.json across runs.
+if ! go run ./cmd/knl-lint -json ./... > lint.json; then
+    cat lint.json >&2
+    exit 1
+fi
 
 step "go test ./..."
 go test ./...

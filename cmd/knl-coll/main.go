@@ -105,7 +105,7 @@ func main() {
 		valid := p.Tuned.Validated && p.OMP.Validated && p.MPI.Validated
 		t.AddRow(p.Threads,
 			p.Tuned.Summary.Q1, p.Tuned.Summary.Med, p.Tuned.Summary.Q3,
-			p.Tuned.ModelLo, p.Tuned.ModelHi,
+			p.Tuned.ModelLo.Float(), p.Tuned.ModelHi.Float(),
 			p.OMP.Summary.Med, p.MPI.Summary.Med,
 			fmt.Sprintf("%.1fx", p.SpeedupOMP()),
 			fmt.Sprintf("%.1fx", p.SpeedupMPI()),

@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	knl-lint [-C dir] [-tests] [-analyzers list] [patterns...]
+//	knl-lint [-C dir] [-tests] [-json] [-analyzers list] [patterns...]
 //	knl-lint -list
 //
 // Patterns are module-relative directories; "dir/..." recurses and
 // "./..." (the default) covers the whole module. Findings print one per
-// line as "file:line:col: analyzer: message".
+// line as "file:line:col: analyzer: message"; with -json they print as a
+// JSON array of {file,line,col,analyzer,message} objects in the same
+// stable order.
 //
 // Exit codes: 0 no findings, 1 findings reported, 2 usage or load error.
 package main
@@ -27,9 +29,10 @@ func main() {
 	dir := fs.String("C", ".", "module root directory")
 	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: knl-lint [-C dir] [-tests] [-analyzers list] [patterns...]")
+		fmt.Fprintln(os.Stderr, "usage: knl-lint [-C dir] [-tests] [-json] [-analyzers list] [patterns...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -72,8 +75,14 @@ func main() {
 	}
 
 	findings := analysis.Run(cfg, pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "knl-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))

@@ -108,22 +108,22 @@ func showCmd(args []string) {
 		Title:   fmt.Sprintf("Capability model (%s)", m.Config.Name()),
 		Headers: []string{"Parameter", "Value"},
 	}
-	t.AddRow("RL (local cache read) [ns]", m.RL)
+	t.AddRow("RL (local cache read) [ns]", m.RL.Float())
 	t.AddRow("R tile M/E/SF [ns]", fmt.Sprintf("%s / %s / %s",
-		report.FormatFloat(m.RTileM), report.FormatFloat(m.RTileE), report.FormatFloat(m.RTileSF)))
+		report.FormatFloat(m.RTileM.Float()), report.FormatFloat(m.RTileE.Float()), report.FormatFloat(m.RTileSF.Float())))
 	t.AddRow("RR (remote cache read) [ns]", fmt.Sprintf("%s (band %s-%s)",
-		report.FormatFloat(m.RR), report.FormatFloat(m.RRMin), report.FormatFloat(m.RRMax)))
-	t.AddRow("RI (memory read) [ns]", m.RI)
-	t.AddRow("RI MCDRAM [ns]", m.RIMCDRAM)
+		report.FormatFloat(m.RR.Float()), report.FormatFloat(m.RRMin.Float()), report.FormatFloat(m.RRMax.Float())))
+	t.AddRow("RI (memory read) [ns]", m.RI.Float())
+	t.AddRow("RI MCDRAM [ns]", m.RIMCDRAM.Float())
 	t.AddRow("Contention T_C(N) [ns]", fmt.Sprintf("%s + %s*N",
-		report.FormatFloat(m.CAlpha), report.FormatFloat(m.CBeta)))
-	t.AddRow("BW remote copy [GB/s]", m.BWRemoteCopy)
+		report.FormatFloat(m.CAlpha.Float()), report.FormatFloat(m.CBeta.Float())))
+	t.AddRow("BW remote copy [GB/s]", m.BWRemoteCopy.Float())
 	t.AddRow("BW tile copy E/M [GB/s]", fmt.Sprintf("%s / %s",
-		report.FormatFloat(m.BWTileCopyE), report.FormatFloat(m.BWTileCopyM)))
-	t.AddRow("BW remote read [GB/s]", m.BWRemoteRead)
+		report.FormatFloat(m.BWTileCopyE.Float()), report.FormatFloat(m.BWTileCopyM.Float())))
+	t.AddRow("BW remote read [GB/s]", m.BWRemoteRead.Float())
 	for _, kind := range []knl.MemKind{knl.DDR, knl.MCDRAM} {
 		for _, p := range m.BWCurve[kind] {
-			t.AddRow(fmt.Sprintf("BW %v @%d threads [GB/s]", kind, p.Threads), p.GBs)
+			t.AddRow(fmt.Sprintf("BW %v @%d threads [GB/s]", kind, p.Threads), p.GBs.Float())
 		}
 	}
 	t.Write(os.Stdout)

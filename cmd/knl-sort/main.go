@@ -101,7 +101,7 @@ func compareKinds(cfg knl.Config, model *core.Model, oh core.OverheadModel) {
 	const lines = 262144
 	d := msort.Simulate(cfg, msort.DefaultSimParams(lines, 64, knl.DDR))
 	mc := msort.Simulate(cfg, msort.DefaultSimParams(lines, 64, knl.MCDRAM))
-	fmt.Printf("MCDRAM vs DRAM at 64 threads, 16 MB: %.2fx (paper: negligible difference)\n", d/mc)
+	fmt.Printf("MCDRAM vs DRAM at 64 threads, 16 MB: %.2fx (paper: negligible difference)\n", d.Float()/mc.Float())
 }
 
 func verifyRealSort() {

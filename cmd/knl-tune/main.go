@@ -82,7 +82,7 @@ func main() {
 		{"flat", core.FlatTree(*n)},
 	} {
 		c := model.BroadcastCost(s.t)
-		cmp.AddRow(s.name, c, fmt.Sprintf("%.2fx", c/bc.CostNs))
+		cmp.AddRow(s.name, c.Float(), fmt.Sprintf("%.2fx", c.Float()/bc.CostNs.Float()))
 	}
 	cmp.Write(os.Stdout)
 
@@ -94,7 +94,7 @@ func main() {
 		Headers: []string{"m", "rounds", "cost"},
 	}
 	for _, mw := range []int{1, 2, 3, 5, 7, 15, *threads - 1} {
-		bcmp.AddRow(mw, core.DisseminationRounds(*threads, mw), model.BarrierCost(*threads, mw))
+		bcmp.AddRow(mw, core.DisseminationRounds(*threads, mw), model.BarrierCost(*threads, mw).Float())
 	}
 	bcmp.Write(os.Stdout)
 }

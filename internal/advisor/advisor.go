@@ -15,6 +15,7 @@ import (
 
 	"knlcap/internal/core"
 	"knlcap/internal/knl"
+	"knlcap/internal/units"
 )
 
 // Pattern classifies how an array is accessed.
@@ -80,15 +81,16 @@ type Plan struct {
 	BudgetBytes     int64
 	// PredictedSavingNs is the total model-predicted time saved versus
 	// all-DDR placement.
-	PredictedSavingNs float64
+	PredictedSavingNs units.Nanos
 }
 
 // timePerByte predicts ns/byte for an array on the given memory kind.
 func timePerByte(m *core.Model, a Array, kind knl.MemKind) float64 {
 	switch a.Pattern {
 	case RandomAccess:
-		// Latency-bound: one line access serves 64 bytes.
-		return m.MemLatency(kind) / float64(knl.LineSize)
+		// Latency-bound: one line access serves 64 bytes. ns/byte is a
+		// derived ratio, so the raw views are the honest representation.
+		return m.MemLatency(kind).Float() / float64(knl.LineSize)
 	case MergeSortLike:
 		// The sort moves every byte once per merge level; normalize its
 		// model cost per byte-touch so gains are comparable with the
@@ -102,13 +104,13 @@ func timePerByte(m *core.Model, a Array, kind knl.MemKind) float64 {
 		for l := lines; l > 1; l /= 2 {
 			passes++
 		}
-		return m.SortCost(p, true) / float64(a.Bytes) / passes
+		return m.SortCost(p, true).Float() / float64(a.Bytes) / passes
 	default: // Streaming
 		bw := m.AchievableBW(kind, a.Threads)
 		if bw <= 0 {
-			return m.MemLatency(kind) / float64(knl.LineSize)
+			return m.MemLatency(kind).Float() / float64(knl.LineSize)
 		}
-		return 1 / bw // ns per byte at aggregate bandwidth
+		return 1 / bw.Float() // ns per byte at aggregate bandwidth
 	}
 }
 
@@ -152,7 +154,7 @@ func Advise(m *core.Model, arrays []Array, budgetBytes int64) (Plan, error) {
 		default:
 			pl.InMCDRAM = true
 			used += c.a.Bytes
-			plan.PredictedSavingNs += c.gain * float64(c.a.Bytes)
+			plan.PredictedSavingNs += units.Nanos(c.gain * float64(c.a.Bytes))
 			pl.Reason = fmt.Sprintf("%s with %d threads: %.3f ns/B saved in MCDRAM",
 				c.a.Pattern, c.a.Threads, c.gain)
 		}
@@ -165,7 +167,7 @@ func Advise(m *core.Model, arrays []Array, budgetBytes int64) (Plan, error) {
 // String renders the plan as a short report.
 func (p Plan) String() string {
 	out := fmt.Sprintf("MCDRAM used: %d of %d bytes; predicted saving %.0f ns\n",
-		p.MCDRAMBytesUsed, p.BudgetBytes, p.PredictedSavingNs)
+		p.MCDRAMBytesUsed, p.BudgetBytes, p.PredictedSavingNs.Float())
 	for _, pl := range p.Placements {
 		loc := "DDR   "
 		if pl.InMCDRAM {

@@ -17,9 +17,18 @@
 //     *machine.Machine may not be captured by a go statement or sent over a
 //     channel — parallel experiments stay deterministic only while every
 //     point owns its environment.
+//   - unitcheck: in the unit-bearing model packages, conversions may not
+//     strip or rebrand the typed physical units of internal/units, bare
+//     literals and same-unit operands may not be multiplied or divided
+//     (Scale(k) and the named converters are the blessed paths), raw
+//     .Float()/.Int() magnitudes of different units may not be mixed, and
+//     (in UnitSigPkgs) exported signatures may not pass quantities as bare
+//     float64 (see DESIGN.md §7).
 //
-// Findings print as "file:line:col: analyzer: message". A finding can be
-// suppressed with a justified directive on the same or the preceding line:
+// Findings print as "file:line:col: analyzer: message"; knl-lint -json
+// emits the same findings as a sorted JSON array (see JSONFinding). A
+// finding can be suppressed with a justified directive on the same or the
+// preceding line:
 //
 //	//lint:ignore <analyzer> <reason>
 //
@@ -27,7 +36,9 @@
 //
 //	//lint:file-ignore <analyzer> <reason>
 //
-// Directives without a reason are themselves reported (analyzer "lint").
+// Directives without a reason, naming an unknown analyzer, or placing a
+// file-ignore after the package clause are themselves reported (analyzer
+// "lint").
 package analysis
 
 import (
@@ -82,6 +93,17 @@ type Config struct {
 	// EnvShareExempt are packages allowed to share those types across
 	// goroutines: the process mechanism itself and the experiment runner.
 	EnvShareExempt []string
+	// UnitsPkg is the package defining the typed physical units; it is
+	// exempt from unitcheck because its converters ARE the blessed
+	// cross-unit operations.
+	UnitsPkg string
+	// UnitPkgs are the unit-bearing packages where unitcheck polices
+	// conversions and arithmetic on unit-typed values.
+	UnitPkgs []string
+	// UnitSigPkgs additionally forbid bare float64 parameters/results in
+	// exported signatures (quantities crossing those APIs must carry a
+	// unit type).
+	UnitSigPkgs []string
 	// IncludeTests makes the loader include in-package _test.go files.
 	IncludeTests bool
 }
@@ -110,6 +132,21 @@ func DefaultConfig() *Config {
 		EnvShareExempt: []string{
 			"knlcap/internal/sim",
 			"knlcap/internal/exp",
+		},
+		UnitsPkg: "knlcap/internal/units",
+		UnitPkgs: []string{
+			"knlcap/internal/core",
+			"knlcap/internal/knl",
+			"knlcap/internal/stats",
+			"knlcap/internal/roofline",
+			"knlcap/internal/tune",
+			"knlcap/internal/advisor",
+			"knlcap/internal/msort",
+			"knlcap/internal/coll",
+		},
+		UnitSigPkgs: []string{
+			"knlcap/internal/core",
+			"knlcap/internal/msort",
 		},
 	}
 }
@@ -154,7 +191,7 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, FloatCmp, ErrCheck, PrintBan, EnvShare}
+	return []*Analyzer{Determinism, FloatCmp, ErrCheck, PrintBan, EnvShare, UnitCheck}
 }
 
 // ByName resolves analyzer names; unknown names are an error.

@@ -9,10 +9,13 @@ import (
 func fixtureCfg() *Config {
 	return &Config{
 		SimulatorPkgs:  []string{"fix.example/simpkg"},
-		ModelPkgs:      []string{"fix.example/modelpkg"},
+		ModelPkgs:      []string{"fix.example/modelpkg", "fix.example/edgeig"},
 		OutputPkgs:     []string{"fix.example/outpkg"},
 		EnvShareTypes:  []string{"fix.example/fakesim.Env", "fix.example/fakesim.Machine"},
 		EnvShareExempt: []string{"fix.example/fakesim"},
+		UnitsPkg:       "fix.example/units",
+		UnitPkgs:       []string{"fix.example/unitpkg"},
+		UnitSigPkgs:    []string{"fix.example/unitpkg"},
 	}
 }
 
@@ -159,6 +162,42 @@ func TestMalformedDirectiveReported(t *testing.T) {
 	})
 }
 
+func TestUnitCheckGolden(t *testing.T) {
+	diff(t, runOn(t, "fix.example/unitpkg", "unitcheck"), []string{
+		"testdata/src/unitpkg/unitpkg.go:10:9: unitcheck: conversion strips the Nanos dimension; use the greppable raw view (.Float()/.Int()) or a blessed converter",
+		"testdata/src/unitpkg/unitpkg.go:15:9: unitcheck: cross-unit conversion Nanos -> Cycles bypasses the blessed converters; use the named Cycles conversion in internal/units",
+		"testdata/src/unitpkg/unitpkg.go:20:9: unitcheck: bare constant * a Nanos value; use .Scale(k) or a typed constant with the right unit",
+		"testdata/src/unitpkg/unitpkg.go:25:9: unitcheck: Nanos * Nanos is not a Nanos; take .Float() views if a dimensionless ratio or square is intended",
+		"testdata/src/unitpkg/unitpkg.go:30:2: unitcheck: bare constant /= a Nanos value; use .Scale(k) or a typed constant with the right unit",
+		"testdata/src/unitpkg/unitpkg.go:39:9: unitcheck: + of a raw Nanos value and a raw GBps value: the units were stripped by .Float() but still do not mix",
+		`testdata/src/unitpkg/unitpkg.go:46:3: unitcheck: local "v" carries raw Nanos and raw GBps values on different paths; keep one unit per local`,
+		"testdata/src/unitpkg/unitpkg.go:53:17: unitcheck: exported Exported has a raw float64 parameter; quantities crossing the API must carry a unit type from internal/units",
+		"testdata/src/unitpkg/unitpkg.go:53:26: unitcheck: exported Exported has a raw float64 result; quantities crossing the API must carry a unit type from internal/units",
+	})
+}
+
+// TestUnitCheckUnitsPkgExempt: the units package itself defines the
+// blessed converters, so unitcheck must not fire on its conversions.
+func TestUnitCheckUnitsPkgExempt(t *testing.T) {
+	diff(t, runOn(t, "fix.example/units", "unitcheck"), nil)
+}
+
+// TestSuppressionEdgeCases covers the three directive edge cases at once:
+// a line carrying both a floatcmp and a printban finding where the
+// directive names only floatcmp (printban survives), a directive naming
+// an unknown analyzer (reported, not honored — the errcheck finding below
+// it survives), and a file-ignore placed after the package clause
+// (reported, not honored).
+func TestSuppressionEdgeCases(t *testing.T) {
+	diff(t, runOn(t, "fix.example/edgeig", "floatcmp", "printban", "errcheck"), []string{
+		"testdata/src/edgeig/edgeig.go:16:2: printban: fmt.Println in library package: route output through cmd/ or internal/report",
+		`testdata/src/edgeig/edgeig.go:22:2: lint: suppression directive names unknown analyzer "floatcomp"`,
+		"testdata/src/edgeig/edgeig.go:23:2: errcheck: error returned by os.Remove is silently discarded: check it or assign it to _",
+		"testdata/src/edgeig/late.go:5:1: lint: file-ignore directive after the package clause has no effect; move it above the package clause",
+		"testdata/src/edgeig/late.go:12:2: errcheck: error returned by os.Remove is silently discarded: check it or assign it to _",
+	})
+}
+
 func TestByNameUnknown(t *testing.T) {
 	if _, err := ByName([]string{"determinism", "nope"}); err == nil {
 		t.Fatal("ByName accepted unknown analyzer name")
@@ -173,10 +212,11 @@ func TestSuiteOverFixtures(t *testing.T) {
 	pkgsByPath := loadFixtures(t)
 	var pkgs []*Package
 	for _, path := range []string{
-		"fix.example/badlint", "fix.example/envpkg", "fix.example/errpkg",
-		"fix.example/fakesim", "fix.example/fileig", "fix.example/modelpkg",
-		"fix.example/outpkg", "fix.example/printpkg",
-		"fix.example/simfree", "fix.example/simpkg",
+		"fix.example/badlint", "fix.example/edgeig", "fix.example/envpkg",
+		"fix.example/errpkg", "fix.example/fakesim", "fix.example/fileig",
+		"fix.example/modelpkg", "fix.example/outpkg", "fix.example/printpkg",
+		"fix.example/simfree", "fix.example/simpkg", "fix.example/unitpkg",
+		"fix.example/units",
 	} {
 		pkg, ok := pkgsByPath[path]
 		if !ok {
@@ -191,11 +231,12 @@ func TestSuiteOverFixtures(t *testing.T) {
 	}
 	want := map[string]int{
 		"determinism": 6,
-		"floatcmp":    3,
-		"errcheck":    5, // errpkg's four + badlint's one
-		"printban":    3, // printpkg's two + errpkg's fmt.Println
+		"floatcmp":    3, // modelpkg's three; edgeig's one is suppressed
+		"errcheck":    7, // errpkg's four + badlint's one + edgeig's two
+		"printban":    4, // printpkg's two + errpkg's fmt.Println + edgeig's
 		"envshare":    4, // envpkg's two go captures, one send, one arg pass
-		"lint":        1,
+		"lint":        3, // badlint's + edgeig's unknown name + late file-ignore
+		"unitcheck":   9,
 	}
 	for a, n := range want {
 		if perAnalyzer[a] != n {

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/token"
 	"strings"
 )
@@ -19,11 +20,24 @@ const (
 	filePrefix = "//lint:file-ignore "
 )
 
+// knownAnalyzerNames returns the names a directive may legally reference:
+// the suite itself, the "lint" pseudo-analyzer, and the "*" wildcard.
+func knownAnalyzerNames() map[string]bool {
+	known := map[string]bool{"lint": true, "*": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	return known
+}
+
 // parseDirectives extracts suppression directives from a package's
-// comments. Malformed directives (a missing analyzer list or reason) are
-// reported as findings of the pseudo-analyzer "lint": an unexplained
-// suppression is exactly the silent exception the linter exists to forbid.
+// comments. Malformed directives (a missing analyzer list or reason, an
+// unknown analyzer name, or a file-ignore placed after the package clause)
+// are reported as findings of the pseudo-analyzer "lint": an unexplained
+// or ineffective suppression is exactly the silent exception the linter
+// exists to forbid.
 func parseDirectives(pkg *Package, report func(Finding)) []ignoreDirective {
+	known := knownAnalyzerNames()
 	var out []ignoreDirective
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -56,9 +70,36 @@ func parseDirectives(pkg *Package, report func(Finding)) []ignoreDirective {
 					})
 					continue
 				}
+				if wholeFile && c.Pos() > f.Package {
+					// A file-ignore below the package clause reads as if it
+					// covered the file, but the documented contract places
+					// it above; report it and do not honor it.
+					report(Finding{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Analyzer: "lint",
+						Message:  "file-ignore directive after the package clause has no effect; move it above the package clause",
+					})
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				valid := names[:0]
+				for _, name := range names {
+					if !known[name] {
+						report(Finding{
+							Pos:      pkg.Fset.Position(c.Pos()),
+							Analyzer: "lint",
+							Message:  fmt.Sprintf("suppression directive names unknown analyzer %q", name),
+						})
+						continue
+					}
+					valid = append(valid, name)
+				}
+				if len(valid) == 0 {
+					continue
+				}
 				out = append(out, ignoreDirective{
 					pos:       pkg.Fset.Position(c.Pos()),
-					analyzers: strings.Split(fields[0], ","),
+					analyzers: valid,
 					reason:    strings.Join(fields[1:], " "),
 					wholeFile: wholeFile,
 				})

@@ -1,0 +1,24 @@
+// Package edgeig exercises the suppression edge cases: a directive
+// covering only one of two findings on a line, a directive naming an
+// unknown analyzer, and (in late.go) a file-ignore placed too late.
+package edgeig
+
+import (
+	"fmt"
+	"os"
+)
+
+// PrintEqual produces two findings on one line — floatcmp on the
+// comparison and printban on the call — and suppresses only floatcmp;
+// the printban finding must survive.
+func PrintEqual(a, b float64) {
+	//lint:ignore floatcmp the exact comparison is this fixture's point
+	fmt.Println(a == b)
+}
+
+// Misspelled names an analyzer that does not exist: the directive itself
+// is reported and the errcheck finding below it survives.
+func Misspelled() {
+	//lint:ignore floatcomp typo: no such analyzer
+	os.Remove("edgeig")
+}

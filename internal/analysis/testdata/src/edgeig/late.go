@@ -1,0 +1,13 @@
+// The file-ignore below sits after the package clause; the documented
+// contract places it above, so it is reported and not honored.
+package edgeig
+
+//lint:file-ignore errcheck placed after the package clause on purpose
+
+import "os"
+
+// Late discards an error that must still be reported despite the
+// (ineffective) file-ignore above.
+func Late() {
+	os.Remove("late")
+}

@@ -1,0 +1,75 @@
+// Package unitpkg deliberately violates every unitcheck rule; the golden
+// test pins the findings. The fixture config lists this package in both
+// UnitPkgs and UnitSigPkgs.
+package unitpkg
+
+import "fix.example/units"
+
+// strip converts a unit-typed value straight to float64: finding.
+func strip(t units.Nanos) float64 {
+	return float64(t) // finding: conversion strips the Nanos dimension
+}
+
+// rebrand casts across units, bypassing the blessed converters: finding.
+func rebrand(t units.Nanos) units.Cycles {
+	return units.Cycles(t) // finding: cross-unit conversion Nanos -> Cycles
+}
+
+// bareScale multiplies by a bare literal; the blessed path is Scale(k).
+func bareScale(t units.Nanos) units.Nanos {
+	return t * 2 // finding: bare constant * a Nanos value
+}
+
+// squared multiplies two values of the same unit: ns*ns is not a time.
+func squared(t units.Nanos) units.Nanos {
+	return t * t // finding: Nanos * Nanos is not a Nanos
+}
+
+// halve shows the compound-assignment forms are covered too.
+func halve(t units.Nanos) units.Nanos {
+	t /= 2 // finding: bare constant /= a Nanos value
+	return t
+}
+
+// launder strips both units through raw views; the magnitudes still do
+// not mix.
+func launder(t units.Nanos, bw units.GBps) float64 {
+	a := t.Float()
+	b := bw.Float()
+	return a + b // finding: + of a raw Nanos value and a raw GBps value
+}
+
+// relabel reuses one plain local for two different units across paths.
+func relabel(t units.Nanos, bw units.GBps, flip bool) float64 {
+	v := t.Float()
+	if flip {
+		v = bw.Float() // finding: local "v" carries raw Nanos and raw GBps
+	}
+	return v
+}
+
+// Exported has a raw float64 parameter and result: two findings on the
+// signature (UnitSigPkgs rule).
+func Exported(x float64) float64 {
+	return x + 1
+}
+
+// blessed exercises every sanctioned path and must stay silent: the
+// plain->unit conversion at the calibration boundary, typed arithmetic,
+// Scale, a converter, and a comparison. (It is unexported: a raw float64
+// crossing an exported signature is exactly what the sig rule forbids.)
+func blessed(raw float64, b units.Bytes, bw units.GBps) units.Nanos {
+	t := units.Nanos(raw)
+	total := t + t.Scale(2)
+	if total < 0 {
+		total = 0
+	}
+	return total + b.TransferNanos(bw)
+}
+
+// ratio is a documented dimensionless escape: the directive suppresses
+// both conversion findings on the next line.
+func ratio(a, b units.Nanos) float64 {
+	//lint:ignore unitcheck a ratio of two same-unit times is dimensionless
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,33 @@
+// Package units is a miniature copy of knlcap/internal/units for the
+// unitcheck fixtures: float64-backed quantities, an int64-backed size,
+// the greppable raw views, Scale, and one blessed converter. The
+// fixture config points Config.UnitsPkg here, so the conversions inside
+// this package are exempt — they ARE the blessed mixes.
+package units
+
+// Nanos is a duration in nanoseconds.
+type Nanos float64
+
+// Cycles is a duration in clock cycles.
+type Cycles float64
+
+// GBps is a bandwidth in gigabytes per second (= bytes per nanosecond).
+type GBps float64
+
+// Bytes is a data size in bytes.
+type Bytes int64
+
+// Float returns the raw magnitude in nanoseconds.
+func (n Nanos) Float() float64 { return float64(n) }
+
+// Scale multiplies the duration by the dimensionless factor k.
+func (n Nanos) Scale(k float64) Nanos { return Nanos(float64(n) * k) }
+
+// Float returns the raw magnitude in GB/s.
+func (b GBps) Float() float64 { return float64(b) }
+
+// Int returns the raw size in bytes.
+func (b Bytes) Int() int64 { return int64(b) }
+
+// TransferNanos returns the time to move b bytes at bandwidth bw.
+func (b Bytes) TransferNanos(bw GBps) Nanos { return Nanos(float64(b) / float64(bw)) }

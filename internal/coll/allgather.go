@@ -120,7 +120,7 @@ func newOMPAllgather(m *machine.Machine, cfg knl.Config, g *group, p Params) *om
 		g:      g,
 		slab:   allocFor(m, cfg, g.places[0], p.BufKind, int64(n)*knl.LineSize),
 		count:  allocFor(m, cfg, g.places[0], p.BufKind, knl.LineSize),
-		forkNs: p.OMPForkNs,
+		forkNs: p.OMPForkNs.Float(),
 		n:      n,
 		got:    make([]int, n),
 	}

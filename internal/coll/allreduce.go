@@ -6,6 +6,7 @@ import (
 	"knlcap/internal/machine"
 	"knlcap/internal/memmode"
 	"knlcap/internal/tune"
+	"knlcap/internal/units"
 )
 
 // Allreduce extends the paper's collective set (its "flurry of
@@ -74,7 +75,7 @@ func newOMPAllreduce(m *machine.Machine, cfg knl.Config, g *group, p Params) *om
 		acc:     allocFor(m, cfg, g.places[0], p.BufKind, knl.LineSize),
 		count:   allocFor(m, cfg, g.places[0], p.BufKind, knl.LineSize),
 		out:     allocFor(m, cfg, g.places[0], p.BufKind, knl.LineSize),
-		forkNs:  p.OMPForkNs,
+		forkNs:  p.OMPForkNs.Float(),
 		result:  make([]uint64, len(g.places)),
 		threads: len(g.places),
 	}
@@ -143,6 +144,6 @@ func (ma *mpiAllreduce) validate(m *machine.Machine, iters int) bool {
 }
 
 // PredictAllreduce gives the model cost of the fused tuned allreduce.
-func PredictAllreduce(model *core.Model, tiles int) float64 {
+func PredictAllreduce(model *core.Model, tiles int) units.Nanos {
 	return tune.Reduce(model, tiles).CostNs + tune.Broadcast(model, tiles).CostNs
 }

@@ -74,7 +74,7 @@ func newOMPBarrier(m *machine.Machine, cfg knl.Config, g *group, p Params) *ompB
 		g:       g,
 		counter: allocFor(m, cfg, g.places[0], p.BufKind, knl.LineSize),
 		release: allocFor(m, cfg, g.places[0], p.BufKind, knl.LineSize),
-		forkNs:  p.OMPForkNs,
+		forkNs:  p.OMPForkNs.Float(),
 	}
 }
 

@@ -148,7 +148,7 @@ func newOMPBcast(m *machine.Machine, cfg knl.Config, g *group, p Params) *ompBca
 		payload: allocFor(m, cfg, g.places[0], p.BufKind, int64(lines)*knl.LineSize),
 		ack:     allocFor(m, cfg, g.places[0], p.BufKind, knl.LineSize),
 		seen:    make([]uint64, len(g.places)),
-		forkNs:  p.OMPForkNs,
+		forkNs:  p.OMPForkNs.Float(),
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"knlcap/internal/memmode"
 	"knlcap/internal/stats"
 	"knlcap/internal/tune"
+	"knlcap/internal/units"
 )
 
 // Algorithm selects an implementation.
@@ -80,10 +81,10 @@ type Params struct {
 	BufKind knl.MemKind
 	// MPIOverheadNs is the per-message software cost of the MPI baseline
 	// (matching, tag lookup, progress engine).
-	MPIOverheadNs float64
+	MPIOverheadNs units.Nanos
 	// OMPForkNs is the per-call runtime cost of the OpenMP baseline
 	// (dispatch through the runtime's barrier/reduction machinery).
-	OMPForkNs float64
+	OMPForkNs units.Nanos
 }
 
 // DefaultParams returns the configuration of Figures 6-8.
@@ -105,8 +106,8 @@ type Result struct {
 	Config    knl.Config
 	Params    Params
 	Summary   stats.Summary // per-iteration completion times (ns)
-	ModelLo   float64       // min-max model envelope (Tuned only, else 0)
-	ModelHi   float64
+	ModelLo   units.Nanos   // min-max model envelope (Tuned only, else 0)
+	ModelHi   units.Nanos
 	Validated bool // payload/semantics checks passed
 }
 
@@ -196,7 +197,7 @@ func allocFor(m *machine.Machine, cfg knl.Config, pl knl.Place, kind knl.MemKind
 }
 
 // envelopeFor computes the min-max model band for the tuned algorithm.
-func envelopeFor(model *core.Model, op Op, numNodes, threads int) (lo, hi float64) {
+func envelopeFor(model *core.Model, op Op, numNodes, threads int) (lo, hi units.Nanos) {
 	env := model.MinMax()
 	switch op {
 	case Barrier:
@@ -218,8 +219,8 @@ func envelopeFor(model *core.Model, op Op, numNodes, threads int) (lo, hi float6
 		alo, ahi := env.BarrierEnvelope(threads, b.M)
 		// Every foreign line is pulled once: a remote read plus a local
 		// store (best) or a flag-bounced read plus memory write (worst).
-		alo += float64(threads-1) * (env.Best.RR + env.Best.RL)
-		ahi += float64(threads-1) * (env.Worst.RR + env.Worst.RI)
+		alo += (env.Best.RR + env.Best.RL).Scale(float64(threads - 1))
+		ahi += (env.Worst.RR + env.Worst.RI).Scale(float64(threads - 1))
 		return alo, ahi
 	default:
 		t := tune.Reduce(model, numNodes)

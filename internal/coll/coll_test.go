@@ -96,11 +96,11 @@ func TestModelEnvelopeBracketsTuned(t *testing.T) {
 			if res.ModelLo <= 0 || res.ModelHi <= res.ModelLo {
 				t.Fatalf("%v n=%d: bad envelope [%v,%v]", op, n, res.ModelLo, res.ModelHi)
 			}
-			if res.Summary.Med > res.ModelHi {
+			if res.Summary.Med > res.ModelHi.Float() {
 				t.Errorf("%v n=%d: measured %.0f above worst-case model %.0f",
 					op, n, res.Summary.Med, res.ModelHi)
 			}
-			if res.ModelLo > res.Summary.Med*2.2 {
+			if res.ModelLo.Float() > res.Summary.Med*2.2 {
 				t.Errorf("%v n=%d: best-case model %.0f far above measured %.0f",
 					op, n, res.ModelLo, res.Summary.Med)
 			}

@@ -90,7 +90,7 @@ func TestAllreduce(t *testing.T) {
 		t.Errorf("tuned allreduce (%.0f) not faster than MPI (%.0f)",
 			tuned.Summary.Med, mpi.Summary.Med)
 	}
-	if tuned.Summary.Med > tuned.ModelHi {
+	if tuned.Summary.Med > tuned.ModelHi.Float() {
 		t.Errorf("allreduce measured %.0f above fused worst-case model %.0f",
 			tuned.Summary.Med, tuned.ModelHi)
 	}
@@ -141,7 +141,7 @@ func TestAllgather(t *testing.T) {
 		t.Errorf("tuned allgather (%.0f) should not be far above OMP (%.0f)",
 			tuned.Summary.Med, omp.Summary.Med)
 	}
-	if tuned.ModelLo <= 0 || tuned.Summary.Med > tuned.ModelHi*1.5 {
+	if tuned.ModelLo <= 0 || tuned.Summary.Med > tuned.ModelHi.Float()*1.5 {
 		t.Errorf("allgather envelope [%v,%v] vs measured %v implausible",
 			tuned.ModelLo, tuned.ModelHi, tuned.Summary.Med)
 	}
@@ -194,7 +194,7 @@ func TestScan(t *testing.T) {
 		t.Errorf("tuned scan (%.0f) not faster than MPI (%.0f)",
 			tuned.Summary.Med, mpi.Summary.Med)
 	}
-	if tuned.Summary.Med > tuned.ModelHi || tuned.ModelLo > tuned.Summary.Med*2.5 {
+	if tuned.Summary.Med > tuned.ModelHi.Float() || tuned.ModelLo.Float() > tuned.Summary.Med*2.5 {
 		t.Errorf("scan envelope [%v,%v] vs measured %v implausible",
 			tuned.ModelLo, tuned.ModelHi, tuned.Summary.Med)
 	}

@@ -54,7 +54,7 @@ func (f *mpiFabric) placeOf(rank int) knl.Place {
 // send copies the payload into the bounce segment and publishes the flag
 // word (value seq*4096 + payload word).
 func (f *mpiFabric) send(th *machine.Thread, from, to, tag, seq int, value uint64) {
-	th.Compute(f.p.MPIOverheadNs)
+	th.Compute(f.p.MPIOverheadNs.Float())
 	b := f.buf(from, to, tag)
 	for li := 1; li < f.msgLines; li++ {
 		th.Store(b, li)
@@ -64,7 +64,7 @@ func (f *mpiFabric) send(th *machine.Thread, from, to, tag, seq int, value uint6
 
 // recv waits for the message and copies it out, returning the payload word.
 func (f *mpiFabric) recv(th *machine.Thread, from, to, tag, seq int) uint64 {
-	th.Compute(f.p.MPIOverheadNs)
+	th.Compute(f.p.MPIOverheadNs.Float())
 	b := f.buf(from, to, tag)
 	got := th.WaitWordGE(b, 0, uint64(seq)*4096)
 	for li := 1; li < f.msgLines; li++ {

@@ -35,7 +35,7 @@ func newTunedReduce(m *machine.Machine, cfg knl.Config, model *core.Model,
 	tr := &tunedReduce{
 		g: g, parent: ti.parent, children: ti.children,
 		childIdx: make([]int, len(g.leaders)),
-		opNs:     model.ReduceOpNs,
+		opNs:     model.ReduceOpNs.Float(),
 		threads:  len(g.places),
 	}
 	for _, kids := range ti.children {
@@ -123,7 +123,7 @@ func newOMPReduce(m *machine.Machine, cfg knl.Config, g *group, p Params) *ompRe
 		acc:     allocFor(m, cfg, g.places[0], p.BufKind, knl.LineSize),
 		count:   allocFor(m, cfg, g.places[0], p.BufKind, knl.LineSize),
 		release: allocFor(m, cfg, g.places[0], p.BufKind, knl.LineSize),
-		forkNs:  p.OMPForkNs,
+		forkNs:  p.OMPForkNs.Float(),
 	}
 }
 

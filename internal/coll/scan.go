@@ -5,6 +5,7 @@ import (
 	"knlcap/internal/knl"
 	"knlcap/internal/machine"
 	"knlcap/internal/memmode"
+	"knlcap/internal/units"
 )
 
 // Scan (inclusive prefix sum) rounds out the collective family: thread i
@@ -84,7 +85,7 @@ func newOMPScan(m *machine.Machine, cfg knl.Config, g *group, p Params) *ompScan
 	return &ompScan{
 		g:      g,
 		chain:  allocFor(m, cfg, g.places[0], p.BufKind, int64(n)*knl.LineSize),
-		forkNs: p.OMPForkNs,
+		forkNs: p.OMPForkNs.Float(),
 		n:      n,
 		result: make([]uint64, n),
 	}
@@ -150,6 +151,6 @@ func (ms *mpiScan) validate(m *machine.Machine, iters int) bool {
 
 // ScanModelCost is the capability-model prediction for the tuned scan:
 // log2(n) rounds of one flag publication plus one remote partial read.
-func ScanModelCost(m *core.Model, n int) float64 {
-	return float64(scanRounds(n)) * (m.RI + m.RR)
+func ScanModelCost(m *core.Model, n int) units.Nanos {
+	return (m.RI + m.RR).Scale(float64(scanRounds(n)))
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"knlcap/internal/units"
 )
 
 // Tree is a rooted communication tree over tile-level nodes; Kids are the
@@ -78,30 +80,30 @@ func (t *Tree) String() string {
 // The parent writes the payload and flag (RI+RL), the k children read it
 // under contention (TC(k)), and the parent collects the k acknowledgement
 // flags (RI + k*RR).
-func (m *Model) TLev(k int) float64 {
+func (m *Model) TLev(k int) units.Nanos {
 	if k <= 0 {
 		return 0
 	}
-	return m.RI + m.RL + m.TC(k) + m.RI + float64(k)*m.RR
+	return m.RI + m.RL + m.TC(k) + m.RI + m.RR.Scale(float64(k))
 }
 
 // TLevReduce is the reduce variant: the parent additionally reads and
 // combines each child's contribution.
-func (m *Model) TLevReduce(k int) float64 {
+func (m *Model) TLevReduce(k int) units.Nanos {
 	if k <= 0 {
 		return 0
 	}
-	return m.TLev(k) + float64(k)*(m.ReduceOpNs+m.RL)
+	return m.TLev(k) + (m.ReduceOpNs + m.RL).Scale(float64(k))
 }
 
 // BroadcastCost evaluates Equation 1 over a concrete tree:
 //
 //	Tbc(tree) = Tlev(k0) + max_i Tbc(subtree_i),  Tbc(leaf) = 0.
-func (m *Model) BroadcastCost(t *Tree) float64 {
+func (m *Model) BroadcastCost(t *Tree) units.Nanos {
 	if t.Leaf() {
 		return 0
 	}
-	worst := 0.0
+	var worst units.Nanos
 	for _, k := range t.Kids {
 		if c := m.BroadcastCost(k); c > worst {
 			worst = c
@@ -111,11 +113,11 @@ func (m *Model) BroadcastCost(t *Tree) float64 {
 }
 
 // ReduceCost evaluates the reduce variant of Equation 1 over a tree.
-func (m *Model) ReduceCost(t *Tree) float64 {
+func (m *Model) ReduceCost(t *Tree) units.Nanos {
 	if t.Leaf() {
 		return 0
 	}
-	worst := 0.0
+	var worst units.Nanos
 	for _, k := range t.Kids {
 		if c := m.ReduceCost(k); c > worst {
 			worst = c
@@ -141,9 +143,9 @@ func DisseminationRounds(n, mWay int) int {
 
 // BarrierCost evaluates Equation 2: T_diss(r, m) = r * (RI + m*RR) with
 // r = ceil(log_{m+1} n).
-func (m *Model) BarrierCost(n, mWay int) float64 {
+func (m *Model) BarrierCost(n, mWay int) units.Nanos {
 	r := DisseminationRounds(n, mWay)
-	return float64(r) * (m.RI + float64(mWay)*m.RR)
+	return (m.RI + m.RR.Scale(float64(mWay))).Scale(float64(r))
 }
 
 // Envelope is the min-max model of Section IV-B: Best assumes polling
@@ -158,24 +160,24 @@ func (m *Model) MinMax() Envelope {
 	best := *m
 	best.RR = m.RRMin
 	worst := *m
-	worst.RR = m.RRMax * m.WorstPollFactor
-	worst.CBeta = m.CBeta * m.WorstPollFactor
+	worst.RR = m.RRMax.Scale(m.WorstPollFactor)
+	worst.CBeta = m.CBeta.Scale(m.WorstPollFactor)
 	return Envelope{Best: &best, Worst: &worst}
 }
 
 // BroadcastEnvelope returns the [best, worst] band for a tree broadcast.
-func (e Envelope) BroadcastEnvelope(t *Tree) (lo, hi float64) {
+func (e Envelope) BroadcastEnvelope(t *Tree) (lo, hi units.Nanos) {
 	return e.Best.BroadcastCost(t), e.Worst.BroadcastCost(t)
 }
 
 // ReduceEnvelope returns the [best, worst] band for a tree reduce.
-func (e Envelope) ReduceEnvelope(t *Tree) (lo, hi float64) {
+func (e Envelope) ReduceEnvelope(t *Tree) (lo, hi units.Nanos) {
 	return e.Best.ReduceCost(t), e.Worst.ReduceCost(t)
 }
 
 // BarrierEnvelope returns the [best, worst] band for an m-way
 // dissemination barrier over n threads.
-func (e Envelope) BarrierEnvelope(n, mWay int) (lo, hi float64) {
+func (e Envelope) BarrierEnvelope(n, mWay int) (lo, hi units.Nanos) {
 	return e.Best.BarrierCost(n, mWay), e.Worst.BarrierCost(n, mWay)
 }
 

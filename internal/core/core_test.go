@@ -71,7 +71,7 @@ func TestTLevEquation1(t *testing.T) {
 	m := Default()
 	// Tlev(k) = RI + RL + TC(k) + RI + k*RR
 	want := 140 + 3.8 + (200 + 34*3) + 140 + 3*110.0
-	if got := m.TLev(3); math.Abs(got-want) > 1e-9 {
+	if got := m.TLev(3); math.Abs(got.Float()-want) > 1e-9 {
 		t.Errorf("TLev(3) = %v, want %v", got, want)
 	}
 	if m.TLev(0) != 0 {
@@ -91,7 +91,7 @@ func TestBroadcastCostComposition(t *testing.T) {
 	// Two-level: root with 2 kids, one kid has 1 kid.
 	tr := &Tree{Kids: []*Tree{{Kids: []*Tree{{}}}, {}}}
 	want := m.TLev(2) + m.TLev(1)
-	if got := m.BroadcastCost(tr); math.Abs(got-want) > 1e-9 {
+	if got := m.BroadcastCost(tr); math.Abs((got - want).Float()) > 1e-9 {
 		t.Errorf("cost = %v, want %v", got, want)
 	}
 }
@@ -159,7 +159,7 @@ func TestBarrierCostEquation2(t *testing.T) {
 	m := Default()
 	// n=64, m=3: r=3, cost = 3*(RI + 3*RR).
 	want := 3 * (140 + 3*110.0)
-	if got := m.BarrierCost(64, 3); math.Abs(got-want) > 1e-9 {
+	if got := m.BarrierCost(64, 3); math.Abs(got.Float()-want) > 1e-9 {
 		t.Errorf("BarrierCost(64,3) = %v, want %v", got, want)
 	}
 }

@@ -14,36 +14,39 @@ import (
 
 	"knlcap/internal/bench"
 	"knlcap/internal/knl"
+	"knlcap/internal/units"
 )
 
 // BWPoint is one point of an achievable-bandwidth curve.
 type BWPoint struct {
 	Threads int
-	GBs     float64
+	GBs     units.GBps
 }
 
 // Model is a fitted capability model for one machine configuration.
-// All times are nanoseconds, all bandwidths GB/s.
+// Every capability carries its physical dimension (internal/units): times
+// are units.Nanos, bandwidths units.GBps; the unitcheck analyzer enforces
+// that they only combine through the blessed converters.
 type Model struct {
 	Config knl.Config
 
 	// RL is the cost of reading a line from local cache (L1).
-	RL float64
+	RL units.Nanos
 	// RTileM/E/SF are same-tile L2 reads by state.
-	RTileM, RTileE, RTileSF float64
+	RTileM, RTileE, RTileSF units.Nanos
 	// RR is the cost of reading a line from a remote cache (median), with
 	// RRMin/RRMax the distance band.
-	RR, RRMin, RRMax float64
+	RR, RRMin, RRMax units.Nanos
 	// RI is the cost of reading one line from memory (DRAM, the default
 	// placement of shared structures); RIMCDRAM is the MCDRAM variant.
-	RI, RIMCDRAM float64
+	RI, RIMCDRAM units.Nanos
 
 	// Contention: T_C(N) = CAlpha + CBeta*N for N simultaneous readers of
-	// one line.
-	CAlpha, CBeta float64
+	// one line (CBeta is the per-reader slope, ns/reader).
+	CAlpha, CBeta units.Nanos
 
 	// Cache-to-cache streaming capabilities (GB/s of payload).
-	BWRemoteCopy, BWTileCopyE, BWTileCopyM, BWRemoteRead float64
+	BWRemoteCopy, BWTileCopyE, BWTileCopyM, BWRemoteRead units.GBps
 
 	// Achievable memory bandwidth curves per technology, for the triad-like
 	// mixed pattern the sort model needs (monotone in threads).
@@ -51,10 +54,11 @@ type Model struct {
 
 	// ReduceOpNs is the per-child cost of combining a contribution during
 	// a reduce (vector op plus buffer read).
-	ReduceOpNs float64
+	ReduceOpNs units.Nanos
 
 	// WorstPollFactor scales polling-related terms in the min-max worst
-	// case (a polled line can bounce between poller and writer).
+	// case (a polled line can bounce between poller and writer). It is
+	// dimensionless by design.
 	WorstPollFactor float64
 }
 
@@ -93,32 +97,34 @@ func FromMeasurements(t1 bench.TableI, t2 bench.TableII, sweep []bench.MemBWPoin
 	m := Default()
 	m.Config = t1.Latency.Config
 
-	m.RL = t1.Latency.LocalL1
-	m.RTileM = t1.Latency.TileM
-	m.RTileE = t1.Latency.TileE
-	m.RTileSF = t1.Latency.TileSF
-	m.RRMin = t1.Latency.RemoteE.Lo
-	m.RRMax = t1.Latency.RemoteM.Hi
-	m.RR = (t1.Latency.RemoteE.Lo + t1.Latency.RemoteM.Hi) / 2
-	m.CAlpha = t1.Contention.Alpha
-	m.CBeta = t1.Contention.Beta
-	m.BWRemoteCopy = t1.Bandwidth.CopyRemote
-	m.BWTileCopyE = t1.Bandwidth.CopyTileE
-	m.BWTileCopyM = t1.Bandwidth.CopyTileM
-	m.BWRemoteRead = t1.Bandwidth.Read
+	// The benchmark layer reports raw float64 medians; this is the
+	// calibration boundary where they acquire their dimensions.
+	m.RL = units.Nanos(t1.Latency.LocalL1)
+	m.RTileM = units.Nanos(t1.Latency.TileM)
+	m.RTileE = units.Nanos(t1.Latency.TileE)
+	m.RTileSF = units.Nanos(t1.Latency.TileSF)
+	m.RRMin = units.Nanos(t1.Latency.RemoteE.Lo)
+	m.RRMax = units.Nanos(t1.Latency.RemoteM.Hi)
+	m.RR = units.Nanos((t1.Latency.RemoteE.Lo + t1.Latency.RemoteM.Hi) / 2)
+	m.CAlpha = units.Nanos(t1.Contention.Alpha)
+	m.CBeta = units.Nanos(t1.Contention.Beta)
+	m.BWRemoteCopy = units.GBps(t1.Bandwidth.CopyRemote)
+	m.BWTileCopyE = units.GBps(t1.Bandwidth.CopyTileE)
+	m.BWTileCopyM = units.GBps(t1.Bandwidth.CopyTileM)
+	m.BWRemoteRead = units.GBps(t1.Bandwidth.Read)
 
-	m.RI = mid(t2.Latency.DRAM)
+	m.RI = units.Nanos(mid(t2.Latency.DRAM))
 	if t2.Config.Memory == knl.CacheMode {
-		m.RI = mid(t2.Latency.Cache)
+		m.RI = units.Nanos(mid(t2.Latency.Cache))
 		m.RIMCDRAM = m.RI
 	} else if t2.Latency.MCDRAM.Hi > 0 {
-		m.RIMCDRAM = mid(t2.Latency.MCDRAM)
+		m.RIMCDRAM = units.Nanos(mid(t2.Latency.MCDRAM))
 	}
 
 	if len(sweep) > 0 {
 		curve := map[knl.MemKind][]BWPoint{}
 		for _, p := range sweep {
-			curve[p.Kind] = append(curve[p.Kind], BWPoint{Threads: p.Threads, GBs: p.GBs})
+			curve[p.Kind] = append(curve[p.Kind], BWPoint{Threads: p.Threads, GBs: units.GBps(p.GBs)})
 		}
 		for kind := range curve {
 			sort.Slice(curve[kind], func(i, j int) bool {
@@ -160,36 +166,36 @@ func (m *Model) Validate() error {
 }
 
 // TC evaluates the contention model T_C(N) = alpha + beta*N.
-func (m *Model) TC(n int) float64 {
+func (m *Model) TC(n int) units.Nanos {
 	if n <= 0 {
 		return 0
 	}
-	return m.CAlpha + m.CBeta*float64(n)
+	return m.CAlpha + m.CBeta.Scale(float64(n))
 }
 
-// AchievableBW interpolates the achievable aggregate bandwidth (GB/s) for
-// the technology at the given thread count.
-func (m *Model) AchievableBW(kind knl.MemKind, threads int) float64 {
+// AchievableBW interpolates the achievable aggregate bandwidth for the
+// technology at the given thread count.
+func (m *Model) AchievableBW(kind knl.MemKind, threads int) units.GBps {
 	pts := m.BWCurve[kind]
 	if len(pts) == 0 {
 		return 0
 	}
 	if threads <= pts[0].Threads {
 		// Scale the first point down linearly (1 thread minimum).
-		return pts[0].GBs * float64(threads) / float64(pts[0].Threads)
+		return units.GBps(pts[0].GBs.Float() * float64(threads) / float64(pts[0].Threads))
 	}
 	for i := 1; i < len(pts); i++ {
 		if threads <= pts[i].Threads {
 			a, b := pts[i-1], pts[i]
 			frac := float64(threads-a.Threads) / float64(b.Threads-a.Threads)
-			return a.GBs + frac*(b.GBs-a.GBs)
+			return a.GBs + (b.GBs - a.GBs).Scale(frac)
 		}
 	}
 	return pts[len(pts)-1].GBs
 }
 
 // MemLatency returns the per-line memory read latency for a technology.
-func (m *Model) MemLatency(kind knl.MemKind) float64 {
+func (m *Model) MemLatency(kind knl.MemKind) units.Nanos {
 	if kind == knl.MCDRAM {
 		return m.RIMCDRAM
 	}

@@ -9,37 +9,41 @@ import (
 	"sort"
 
 	"knlcap/internal/knl"
+	"knlcap/internal/units"
 )
 
 // modelJSON is the stable on-disk representation of a Model. Bandwidth
 // curves are keyed by technology name so the file is self-describing.
+// The wire names keep their _ns/_gbs suffixes — the unit is part of the
+// file format — but the fields marshal through the typed quantities, so
+// the Go side cannot silently feed a cycles value into an _ns field.
 type modelJSON struct {
 	Version int    `json:"version"`
 	Cluster string `json:"cluster_mode"`
 	Memory  string `json:"memory_mode"`
 
-	RL      float64 `json:"rl_ns"`
-	RTileM  float64 `json:"r_tile_m_ns"`
-	RTileE  float64 `json:"r_tile_e_ns"`
-	RTileSF float64 `json:"r_tile_sf_ns"`
-	RR      float64 `json:"rr_ns"`
-	RRMin   float64 `json:"rr_min_ns"`
-	RRMax   float64 `json:"rr_max_ns"`
-	RI      float64 `json:"ri_ns"`
-	RIMC    float64 `json:"ri_mcdram_ns"`
+	RL      units.Nanos `json:"rl_ns"`
+	RTileM  units.Nanos `json:"r_tile_m_ns"`
+	RTileE  units.Nanos `json:"r_tile_e_ns"`
+	RTileSF units.Nanos `json:"r_tile_sf_ns"`
+	RR      units.Nanos `json:"rr_ns"`
+	RRMin   units.Nanos `json:"rr_min_ns"`
+	RRMax   units.Nanos `json:"rr_max_ns"`
+	RI      units.Nanos `json:"ri_ns"`
+	RIMC    units.Nanos `json:"ri_mcdram_ns"`
 
-	CAlpha float64 `json:"contention_alpha_ns"`
-	CBeta  float64 `json:"contention_beta_ns"`
+	CAlpha units.Nanos `json:"contention_alpha_ns"`
+	CBeta  units.Nanos `json:"contention_beta_ns"`
 
-	BWRemoteCopy float64 `json:"bw_remote_copy_gbs"`
-	BWTileCopyE  float64 `json:"bw_tile_copy_e_gbs"`
-	BWTileCopyM  float64 `json:"bw_tile_copy_m_gbs"`
-	BWRemoteRead float64 `json:"bw_remote_read_gbs"`
+	BWRemoteCopy units.GBps `json:"bw_remote_copy_gbs"`
+	BWTileCopyE  units.GBps `json:"bw_tile_copy_e_gbs"`
+	BWTileCopyM  units.GBps `json:"bw_tile_copy_m_gbs"`
+	BWRemoteRead units.GBps `json:"bw_remote_read_gbs"`
 
 	BWCurve map[string][]BWPoint `json:"bw_curves"`
 
-	ReduceOpNs      float64 `json:"reduce_op_ns"`
-	WorstPollFactor float64 `json:"worst_poll_factor"`
+	ReduceOpNs      units.Nanos `json:"reduce_op_ns"`
+	WorstPollFactor float64     `json:"worst_poll_factor"`
 }
 
 const modelFileVersion = 1
@@ -152,25 +156,27 @@ type ParamDelta struct {
 // Compare reports the relative differences between two models' scalar
 // capabilities, largest first — useful for spotting drift between a fitted
 // model and the published numbers, or between machine configurations.
+// Deltas are computed per parameter, so each pair shares a dimension and
+// the raw views are safe to mix.
 func Compare(a, b *Model) []ParamDelta {
 	pairs := []struct {
 		name string
 		av   float64
 		bv   float64
 	}{
-		{"RL", a.RL, b.RL},
-		{"RTileM", a.RTileM, b.RTileM},
-		{"RTileE", a.RTileE, b.RTileE},
-		{"RTileSF", a.RTileSF, b.RTileSF},
-		{"RR", a.RR, b.RR},
-		{"RI", a.RI, b.RI},
-		{"RIMCDRAM", a.RIMCDRAM, b.RIMCDRAM},
-		{"CAlpha", a.CAlpha, b.CAlpha},
-		{"CBeta", a.CBeta, b.CBeta},
-		{"BWRemoteCopy", a.BWRemoteCopy, b.BWRemoteCopy},
-		{"BWTileCopyE", a.BWTileCopyE, b.BWTileCopyE},
-		{"BWTileCopyM", a.BWTileCopyM, b.BWTileCopyM},
-		{"BWRemoteRead", a.BWRemoteRead, b.BWRemoteRead},
+		{"RL", a.RL.Float(), b.RL.Float()},
+		{"RTileM", a.RTileM.Float(), b.RTileM.Float()},
+		{"RTileE", a.RTileE.Float(), b.RTileE.Float()},
+		{"RTileSF", a.RTileSF.Float(), b.RTileSF.Float()},
+		{"RR", a.RR.Float(), b.RR.Float()},
+		{"RI", a.RI.Float(), b.RI.Float()},
+		{"RIMCDRAM", a.RIMCDRAM.Float(), b.RIMCDRAM.Float()},
+		{"CAlpha", a.CAlpha.Float(), b.CAlpha.Float()},
+		{"CBeta", a.CBeta.Float(), b.CBeta.Float()},
+		{"BWRemoteCopy", a.BWRemoteCopy.Float(), b.BWRemoteCopy.Float()},
+		{"BWTileCopyE", a.BWTileCopyE.Float(), b.BWTileCopyE.Float()},
+		{"BWTileCopyM", a.BWTileCopyM.Float(), b.BWTileCopyM.Float()},
+		{"BWRemoteRead", a.BWRemoteRead.Float(), b.BWRemoteRead.Float()},
 	}
 	var out []ParamDelta
 	for _, p := range pairs {
@@ -187,6 +193,8 @@ func Compare(a, b *Model) []ParamDelta {
 
 // MaxRelDelta returns the largest relative difference between two models'
 // scalar capabilities.
+//
+//lint:ignore unitcheck a relative delta is a dimensionless ratio, not a quantity
 func MaxRelDelta(a, b *Model) float64 {
 	d := Compare(a, b)
 	if len(d) == 0 {

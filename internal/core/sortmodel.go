@@ -4,13 +4,14 @@ import (
 	"math"
 
 	"knlcap/internal/knl"
+	"knlcap/internal/units"
 )
 
 // SortParams describe one parallel merge-sort run for the memory-access
 // model of Section V-B (Equations 3-5).
 type SortParams struct {
 	// TotalLines is the input size in cache lines (16 int32 per line).
-	TotalLines int
+	TotalLines units.Lines
 	// Threads is the number of sorting threads.
 	Threads int
 	// Kind is where the ping-pong buffers live (DDR or MCDRAM).
@@ -19,24 +20,24 @@ type SortParams struct {
 	// still fit in L1 / L2 (the paper: "depends on how many threads are
 	// running in the same core or tile"). The ping-pong scheme halves the
 	// usable capacity.
-	L1Lines, L2Lines int
+	L1Lines, L2Lines units.Lines
 	// BitonicNsPerLine is the compute cost of pushing one line through the
 	// width-16 bitonic merge network (AVX-512 instruction count / issue
 	// rate).
-	BitonicNsPerLine float64
+	BitonicNsPerLine units.Nanos
 	// SyncNs is the flag synchronization between dependent merges
 	// (RL + RR in the paper).
-	SyncNs float64
+	SyncNs units.Nanos
 }
 
 // DefaultSortParams fills the capacity and compute parameters for a run.
 func DefaultSortParams(m *Model, totalLines, threads int, kind knl.MemKind) SortParams {
 	return SortParams{
-		TotalLines:       totalLines,
+		TotalLines:       units.Lines(totalLines),
 		Threads:          threads,
 		Kind:             kind,
-		L1Lines:          (knl.L1Bytes / knl.LineSize) / 2, // ping-pong halves it
-		L2Lines:          (knl.L2Bytes / knl.LineSize) / 2 / knl.CoresPerTile,
+		L1Lines:          knl.L1Capacity.Lines(knl.LineBytes).Div(2), // ping-pong halves it
+		L2Lines:          knl.L2Capacity.Lines(knl.LineBytes).Div(2).Div(knl.CoresPerTile),
 		BitonicNsPerLine: 6,
 		SyncNs:           m.RL + m.RR,
 	}
@@ -46,7 +47,7 @@ func DefaultSortParams(m *Model, totalLines, threads int, kind knl.MemKind) Sort
 // (worst case: interleaved reads from two unordered input lists defeat
 // prefetching) or the bandwidth variant (best case: streaming at the
 // achievable aggregate bandwidth shared by the active threads).
-func (m *Model) costMem(p SortParams, activeThreads int, useBW bool) float64 {
+func (m *Model) costMem(p SortParams, activeThreads int, useBW bool) units.Nanos {
 	if !useBW {
 		return m.MemLatency(p.Kind)
 	}
@@ -54,8 +55,10 @@ func (m *Model) costMem(p SortParams, activeThreads int, useBW bool) float64 {
 	if bw <= 0 {
 		return m.MemLatency(p.Kind)
 	}
-	// Per-line time for one thread when `activeThreads` share the aggregate.
-	return float64(knl.LineSize) * float64(activeThreads) / bw
+	// Per-line time for one thread when `activeThreads` share the
+	// aggregate: the line's bytes, multiplied by the sharing factor,
+	// streamed at the achievable bandwidth.
+	return knl.LineBytes.Scale(float64(activeThreads)).TransferNanos(bw)
 }
 
 func log2i(n int) float64 {
@@ -72,44 +75,51 @@ func log2i(n int) float64 {
 //	Cmem(n) = (n/nL2)*CL2(nL2) + [log2 n - log2 nL2]*2n*costmem  (5)
 //
 // plus the bitonic network compute for every produced line of every stage.
-func (m *Model) sortLocalCost(p SortParams, n int, activeThreads int, useBW bool) float64 {
+// The per-line costs carry units.Nanos; the stage counts and line counts
+// are the dimensionless factors they scale by.
+func (m *Model) sortLocalCost(p SortParams, n int, activeThreads int, useBW bool) units.Nanos {
 	cm := m.costMem(p, activeThreads, useBW)
 	costL1 := m.RL
 	costL2 := m.RTileSF
-	compute := p.BitonicNsPerLine * float64(n) * (log2i(n) + 1)
+	nL1 := int(p.L1Lines.Int())
+	nL2 := int(p.L2Lines.Int())
+	compute := p.BitonicNsPerLine.Scale(float64(n)).Scale(log2i(n) + 1)
 
-	cl1 := func(n int) float64 {
+	cl1 := func(n int) units.Nanos {
 		stages := log2i(n) - 1
 		if stages < 0 {
 			stages = 0
 		}
-		return stages*2*float64(n)*costL1 + 2*float64(n)*cm
+		return costL1.Scale(stages*2*float64(n)) + cm.Scale(2*float64(n))
 	}
-	if n <= p.L1Lines {
+	if n <= nL1 {
 		return cl1(n) + compute
 	}
-	cl2 := func(n int) float64 {
-		return float64(n)/float64(p.L1Lines)*cl1(p.L1Lines) +
-			(log2i(n)-log2i(p.L1Lines))*2*float64(n)*costL2
+	cl2 := func(n int) units.Nanos {
+		return cl1(nL1).Scale(float64(n)/float64(nL1)) +
+			costL2.Scale((log2i(n)-log2i(nL1))*2*float64(n))
 	}
-	if n <= p.L2Lines {
+	if n <= nL2 {
 		return cl2(n) + compute
 	}
-	return float64(n)/float64(p.L2Lines)*cl2(p.L2Lines) +
-		(log2i(n)-log2i(p.L2Lines))*2*float64(n)*cm + compute
+	return cl2(nL2).Scale(float64(n)/float64(nL2)) +
+		cm.Scale((log2i(n)-log2i(nL2))*2*float64(n)) + compute
 }
 
-// SortCost predicts the total latency (ns) of the parallel merge sort:
+// SortCost predicts the total latency of the parallel merge sort:
 // each thread sorts TotalLines/Threads lines locally, then log2(Threads)
 // merge stages follow in which the number of active threads halves
 // (paper: "Then, the number of threads is halved until only one thread is
 // working"). useBW selects the bandwidth-based best case; false gives the
 // latency-based worst case.
-func (m *Model) SortCost(p SortParams, useBW bool) float64 {
-	if p.Threads < 1 || p.TotalLines < 1 {
+func (m *Model) SortCost(p SortParams, useBW bool) units.Nanos {
+	totalLines := int(p.TotalLines.Int())
+	if p.Threads < 1 || totalLines < 1 {
 		return 0
 	}
-	perThread := p.TotalLines / p.Threads
+	nL1 := int(p.L1Lines.Int())
+	nL2 := int(p.L2Lines.Int())
+	perThread := totalLines / p.Threads
 	if perThread < 1 {
 		perThread = 1
 	}
@@ -119,16 +129,16 @@ func (m *Model) SortCost(p SortParams, useBW bool) float64 {
 	// output lists of perThread*2^s lines.
 	active := p.Threads / 2
 	out := perThread * 2
-	for active >= 1 && out <= p.TotalLines {
+	for active >= 1 && out <= totalLines {
 		cm := m.costMem(p, maxInt(active, 1), useBW)
-		costPerLine := 2 * cm // n reads + n writes
-		if out <= p.L1Lines {
-			costPerLine = 2 * m.RL
-		} else if out <= p.L2Lines {
-			costPerLine = 2 * m.RTileSF
+		costPerLine := cm.Scale(2) // n reads + n writes
+		if out <= nL1 {
+			costPerLine = m.RL.Scale(2)
+		} else if out <= nL2 {
+			costPerLine = m.RTileSF.Scale(2)
 		}
-		total += float64(out)*costPerLine +
-			float64(out)*p.BitonicNsPerLine + p.SyncNs
+		total += costPerLine.Scale(float64(out)) +
+			p.BitonicNsPerLine.Scale(float64(out)) + p.SyncNs
 		if active == 1 {
 			break
 		}
@@ -141,19 +151,20 @@ func (m *Model) SortCost(p SortParams, useBW bool) float64 {
 // SortEnvelope returns the [bandwidth-based, latency-based] prediction band
 // of the memory model (Figure 10's "Mem. model BW" and "Mem. model Lat."
 // curves).
-func (m *Model) SortEnvelope(p SortParams) (bwBased, latBased float64) {
+func (m *Model) SortEnvelope(p SortParams) (bwBased, latBased units.Nanos) {
 	return m.SortCost(p, true), m.SortCost(p, false)
 }
 
 // OverheadModel is the linear overhead model of Section V-B.2: fitted to
 // 1 KB sorts after subtracting the memory model, then applied to all sizes.
+// Both coefficients are times (Beta is ns per thread).
 type OverheadModel struct {
-	Alpha, Beta float64 // overhead(threads) = Alpha + Beta*threads
+	Alpha, Beta units.Nanos // overhead(threads) = Alpha + Beta*threads
 }
 
 // Overhead evaluates the fitted overhead for a thread count.
-func (o OverheadModel) Overhead(threads int) float64 {
-	v := o.Alpha + o.Beta*float64(threads)
+func (o OverheadModel) Overhead(threads int) units.Nanos {
+	v := o.Alpha + o.Beta.Scale(float64(threads))
 	if v < 0 {
 		return 0
 	}
@@ -162,7 +173,7 @@ func (o OverheadModel) Overhead(threads int) float64 {
 
 // FullSortCost combines the memory model with the overhead model (Figure
 // 10's "Full model" curves).
-func (m *Model) FullSortCost(p SortParams, o OverheadModel, useBW bool) float64 {
+func (m *Model) FullSortCost(p SortParams, o OverheadModel, useBW bool) units.Nanos {
 	return m.SortCost(p, useBW) + o.Overhead(p.Threads)
 }
 
@@ -171,7 +182,7 @@ func (m *Model) FullSortCost(p SortParams, o OverheadModel, useBW bool) float64 
 // being memory-bound.
 func (m *Model) EfficiencyCutoff(p SortParams, o OverheadModel) bool {
 	mem := m.SortCost(p, true)
-	return o.Overhead(p.Threads) > 0.1*mem
+	return o.Overhead(p.Threads) > mem.Scale(0.1)
 }
 
 func maxInt(a, b int) int {

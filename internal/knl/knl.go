@@ -7,7 +7,11 @@
 // 16 GB MCDRAM behind 8 EDCs and 96 GB DDR4-2133 behind 2 IMCs x 3 channels.
 package knl
 
-import "fmt"
+import (
+	"fmt"
+
+	"knlcap/internal/units"
+)
 
 // ClusterMode selects how cache-line addresses map to distributed tag
 // directories (CHAs) and how memory is interleaved (paper Section II-D).
@@ -129,6 +133,26 @@ const (
 	DDRBytes      = 96 << 30
 	FreqGHz       = 1.3
 	CyclePeriodNs = 1.0 / FreqGHz
+)
+
+// Typed views of the chip constants for the capability-model layers
+// (internal/units): same values as the untyped constants above, but
+// carrying their physical dimension so the unitcheck analyzer can police
+// how they combine. The untyped forms remain for the simulator's integer
+// address arithmetic.
+const (
+	// LineBytes is the 64-byte cache line as a typed size.
+	LineBytes units.Bytes = LineSize
+	// L1Capacity / L2Capacity are the per-core L1 and per-tile L2 sizes.
+	L1Capacity units.Bytes = L1Bytes
+	L2Capacity units.Bytes = L2Bytes
+	// MCDRAMCapacity / DDRCapacity are the two memory technologies' sizes.
+	MCDRAMCapacity units.Bytes = MCDRAMBytes
+	DDRCapacity    units.Bytes = DDRBytes
+	// Freq is the 1.3 GHz core clock; CyclePeriod is its period. Cycles
+	// become Nanos only through Freq (units.Cycles.Nanos).
+	Freq        units.GHz   = FreqGHz
+	CyclePeriod units.Nanos = CyclePeriodNs
 )
 
 // Pos is a mesh coordinate. Tiles occupy the GridCols x GridRows interior;

@@ -8,6 +8,7 @@ import (
 	"knlcap/internal/knl"
 	"knlcap/internal/machine"
 	"knlcap/internal/stats"
+	"knlcap/internal/units"
 )
 
 // SimParams configure a simulated sort run (the "measured" curves of
@@ -22,11 +23,11 @@ type SimParams struct {
 	// Schedule pins threads (the paper's Figure 10 uses compact filling).
 	Schedule knl.Schedule
 	// BitonicNsPerLine is the compute cost of one network application.
-	BitonicNsPerLine float64
+	BitonicNsPerLine units.Nanos
 	// LevelOverheadNs models per-merge-task software overhead (recursion,
 	// task dispatch, false sharing) paid by each active thread per level —
 	// the source of the paper's overhead-dominated regime at small sizes.
-	LevelOverheadNs float64
+	LevelOverheadNs units.Nanos
 }
 
 // DefaultSimParams returns the Figure 10 configuration.
@@ -42,8 +43,8 @@ func DefaultSimParams(totalLines, threads int, kind knl.MemKind) SimParams {
 }
 
 // Simulate replays the parallel merge sort's memory traffic on the
-// simulated machine and returns the completion time in nanoseconds.
-func Simulate(cfg knl.Config, p SimParams) float64 {
+// simulated machine and returns the completion time.
+func Simulate(cfg knl.Config, p SimParams) units.Nanos {
 	m := machine.New(cfg)
 	threads := effectiveThreads(p.TotalLines*16, p.Threads)
 	places := knl.Pin(p.Schedule, m.NumTiles(), threads)
@@ -73,10 +74,10 @@ func Simulate(cfg knl.Config, p SimParams) float64 {
 			// thread's chunk: read the current buffer, write the other.
 			levels := int(math.Log2(float64(chunk))) + 1
 			for lvl := 0; lvl < levels; lvl++ {
-				th.Compute(p.LevelOverheadNs)
+				th.Compute(p.LevelOverheadNs.Float())
 				th.ReadStreamRange(cur, lo, chunk, true)
 				th.WriteStreamRange(other, lo, chunk, false)
-				th.Compute(p.BitonicNsPerLine * float64(chunk))
+				th.Compute(p.BitonicNsPerLine.Scale(float64(chunk)).Float())
 				cur, other = other, cur
 			}
 			th.StoreWord(flagBuf, flagIdx(r, 0), 1)
@@ -88,7 +89,7 @@ func Simulate(cfg knl.Config, p SimParams) float64 {
 				if r%(2*width) == 0 {
 					partner := r + width
 					th.WaitWordGE(flagBuf, flagIdx(partner, stage-1), 1)
-					th.Compute(p.LevelOverheadNs)
+					th.Compute(p.LevelOverheadNs.Float())
 					myLo := r * chunk
 					span := out
 					if myLo+span > p.TotalLines {
@@ -96,7 +97,7 @@ func Simulate(cfg knl.Config, p SimParams) float64 {
 					}
 					th.ReadStreamRange(cur, myLo, span, true)
 					th.WriteStreamRange(other, myLo, span, false)
-					th.Compute(p.BitonicNsPerLine * float64(span))
+					th.Compute(p.BitonicNsPerLine.Scale(float64(span)).Float())
 					th.StoreWord(flagBuf, flagIdx(r, stage), 1)
 				} else if r%(2*width) == width {
 					// This thread retires after handing its chunk over.
@@ -115,7 +116,7 @@ func Simulate(cfg knl.Config, p SimParams) float64 {
 	if _, err := m.Run(); err != nil {
 		panic(err)
 	}
-	return finish
+	return units.Nanos(finish)
 }
 
 // FitOverhead fits the paper's overhead model: simulate 1 KB sorts across
@@ -149,23 +150,24 @@ func FitOverheadParallel(cfg knl.Config, model *core.Model, kind knl.MemKind,
 		if resid < 0 {
 			resid = 0
 		}
-		return resid
+		return resid.Float()
 	})
 	fit, err := stats.LinReg(xs, ys)
 	if err != nil {
 		return core.OverheadModel{}
 	}
-	return core.OverheadModel{Alpha: fit.Alpha, Beta: fit.Beta}
+	nf := fit.Nanos()
+	return core.OverheadModel{Alpha: nf.Alpha, Beta: nf.Beta}
 }
 
 // Figure10Point is one x-position of one Figure 10 panel.
 type Figure10Point struct {
 	Threads    int
-	MeasuredNs float64
-	MemLatNs   float64 // memory model, latency variant
-	MemBWNs    float64 // memory model, bandwidth variant
-	FullLatNs  float64 // + overhead model
-	FullBWNs   float64
+	MeasuredNs units.Nanos
+	MemLatNs   units.Nanos // memory model, latency variant
+	MemBWNs    units.Nanos // memory model, bandwidth variant
+	FullLatNs  units.Nanos // + overhead model
+	FullBWNs   units.Nanos
 	OverCutoff bool // overhead > 10% of the memory model
 }
 

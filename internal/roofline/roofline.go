@@ -9,7 +9,10 @@
 // synchronization.
 package roofline
 
-import "knlcap/internal/knl"
+import (
+	"knlcap/internal/knl"
+	"knlcap/internal/units"
+)
 
 // Model is a two-roof roofline: one compute ceiling and one bandwidth
 // ceiling per memory technology.
@@ -17,7 +20,7 @@ type Model struct {
 	// PeakGflops is the compute roof (double precision).
 	PeakGflops float64
 	// PeakGBs are the memory roofs.
-	PeakGBs map[knl.MemKind]float64
+	PeakGBs map[knl.MemKind]units.GBps
 }
 
 // ForKNL returns the published rooflines of the Xeon Phi 7210: ~2.6 TF/s
@@ -26,7 +29,7 @@ type Model struct {
 func ForKNL() Model {
 	return Model{
 		PeakGflops: 2662,
-		PeakGBs: map[knl.MemKind]float64{
+		PeakGBs: map[knl.MemKind]units.GBps{
 			knl.DDR:    82,
 			knl.MCDRAM: 448,
 		},
@@ -37,7 +40,7 @@ func ForKNL() Model {
 // intensity ai (flops/byte) against the given memory roof.
 func (m Model) Attainable(ai float64, kind knl.MemKind) float64 {
 	bw := m.PeakGBs[kind]
-	mem := ai * bw
+	mem := ai * bw.Float() // flops/byte x GB/s = GFLOP/s
 	if mem < m.PeakGflops {
 		return mem
 	}
@@ -51,7 +54,7 @@ func (m Model) Ridge(kind knl.MemKind) float64 {
 	if bw <= 0 {
 		return 0
 	}
-	return m.PeakGflops / bw
+	return m.PeakGflops / bw.Float()
 }
 
 // MemoryBound reports whether a kernel of the given intensity is under the
@@ -64,9 +67,9 @@ func (m Model) MemoryBound(ai float64, kind knl.MemKind) bool {
 // `bytes` and executing `flops`: max(bytes/roof, flops/computeRoof).
 // Note what is missing — threads, latency, synchronization — which is
 // exactly why the roofline misjudges the merge sort.
-func (m Model) KernelTimeNs(bytes, flops float64, kind knl.MemKind) float64 {
-	memTime := bytes / m.PeakGBs[kind]
-	cmpTime := flops / m.PeakGflops
+func (m Model) KernelTimeNs(bytes units.Bytes, flops float64, kind knl.MemKind) units.Nanos {
+	memTime := bytes.TransferNanos(m.PeakGBs[kind])
+	cmpTime := units.Nanos(flops / m.PeakGflops)
 	if memTime > cmpTime {
 		return memTime
 	}
@@ -83,9 +86,9 @@ func (m Model) PredictedMCDRAMGain(ai float64) float64 {
 			return 1
 		}
 		// Memory-bound on DDR only.
-		return m.PeakGflops / (ai * m.PeakGBs[knl.DDR])
+		return m.PeakGflops / (ai * m.PeakGBs[knl.DDR].Float())
 	}
-	return m.PeakGBs[knl.MCDRAM] / m.PeakGBs[knl.DDR]
+	return m.PeakGBs[knl.MCDRAM].Float() / m.PeakGBs[knl.DDR].Float()
 }
 
 // SortIntensity is the merge sort's arithmetic intensity: per element per

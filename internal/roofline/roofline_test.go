@@ -71,15 +71,15 @@ func TestRooflineMisjudgesSort(t *testing.T) {
 
 	model := core.Default()
 	lines := (16 << 20) / knl.LineSize
-	capGain := model.SortCost(core.DefaultSortParams(model, lines, 64, knl.DDR), true) /
-		model.SortCost(core.DefaultSortParams(model, lines, 64, knl.MCDRAM), true)
+	capGain := model.SortCost(core.DefaultSortParams(model, lines, 64, knl.DDR), true).Float() /
+		model.SortCost(core.DefaultSortParams(model, lines, 64, knl.MCDRAM), true).Float()
 	if capGain > 1.3 {
 		t.Errorf("capability-model MCDRAM gain = %.2fx, want ~1x", capGain)
 	}
 
 	cfg := knl.DefaultConfig()
-	simGain := msort.Simulate(cfg, msort.DefaultSimParams(16384, 32, knl.DDR)) /
-		msort.Simulate(cfg, msort.DefaultSimParams(16384, 32, knl.MCDRAM))
+	simGain := msort.Simulate(cfg, msort.DefaultSimParams(16384, 32, knl.DDR)).Float() /
+		msort.Simulate(cfg, msort.DefaultSimParams(16384, 32, knl.MCDRAM)).Float()
 	if simGain > 1.3 {
 		t.Errorf("simulated MCDRAM gain = %.2fx, want ~1x", simGain)
 	}
@@ -96,7 +96,7 @@ func TestRooflineRightForTriad(t *testing.T) {
 	roof := ForKNL()
 	rooflineGain := roof.PredictedMCDRAMGain(TriadIntensity)
 	model := core.Default()
-	capGain := model.AchievableBW(knl.MCDRAM, 256) / model.AchievableBW(knl.DDR, 256)
+	capGain := model.AchievableBW(knl.MCDRAM, 256).Float() / model.AchievableBW(knl.DDR, 256).Float()
 	if rooflineGain < capGain*0.7 || rooflineGain > capGain*1.5 {
 		t.Errorf("triad: roofline %.1fx vs capability %.1fx should roughly agree",
 			rooflineGain, capGain)

@@ -3,6 +3,8 @@ package stats
 import (
 	"errors"
 	"math"
+
+	"knlcap/internal/units"
 )
 
 // LinearFit is the result of an ordinary least-squares fit y = Alpha + Beta*x.
@@ -54,6 +56,27 @@ func LinReg(x, y []float64) (LinearFit, error) {
 
 // Predict evaluates the fitted line at x.
 func (f LinearFit) Predict(x float64) float64 { return f.Alpha + f.Beta*x }
+
+// NanosFit is a LinearFit whose response variable is a time — the form every
+// fit in the paper takes (contention, multi-line latency, sort overhead).
+// Alpha is the intercept time and Beta the time per unit of the regressor.
+type NanosFit struct {
+	Alpha, Beta units.Nanos
+	R2          float64
+	N           int
+}
+
+// Nanos views the fit's coefficients as typed times. Use it at the point
+// where the regression's response is known to be nanoseconds; the raw
+// LinearFit stays dimensionless for everything else.
+func (f LinearFit) Nanos() NanosFit {
+	return NanosFit{Alpha: units.Nanos(f.Alpha), Beta: units.Nanos(f.Beta), R2: f.R2, N: f.N}
+}
+
+// Predict evaluates the fitted line at x, yielding a time.
+func (f NanosFit) Predict(x float64) units.Nanos {
+	return f.Alpha + f.Beta.Scale(x)
+}
 
 // Residuals returns y[i] - Predict(x[i]) for all points.
 func (f LinearFit) Residuals(x, y []float64) []float64 {

@@ -13,16 +13,17 @@ import (
 	"strings"
 
 	"knlcap/internal/core"
+	"knlcap/internal/units"
 )
 
 // levelCost abstracts Tlev so broadcast and reduce share the optimizer.
-type levelCost func(k int) float64
+type levelCost func(k int) units.Nanos
 
 // TunedTree is the result of a tree optimization.
 type TunedTree struct {
 	Tree *core.Tree
 	// CostNs is the model-predicted completion time.
-	CostNs float64
+	CostNs units.Nanos
 	// Nodes is the number of tree nodes (tiles).
 	Nodes int
 }
@@ -39,10 +40,10 @@ func optimalTree(n int, lev levelCost) TunedTree {
 	if n < 1 {
 		panic("tune: tree over fewer than 1 node")
 	}
-	cost := make([]float64, n+1)
+	cost := make([]units.Nanos, n+1)
 	bestK := make([]int, n+1)
 	for sz := 2; sz <= n; sz++ {
-		cost[sz] = math.Inf(1)
+		cost[sz] = units.Nanos(math.Inf(1))
 		for k := 1; k <= sz-1; k++ {
 			sub := (sz - 1 + k - 1) / k // ceil((sz-1)/k)
 			c := lev(k) + cost[sub]
@@ -90,7 +91,7 @@ type TunedBarrier struct {
 	N      int
 	M      int // peers notified per round
 	Rounds int
-	CostNs float64
+	CostNs units.Nanos
 }
 
 // Barrier minimizes Equation 2 over m: T = r*(RI + m*RR) subject to
@@ -122,17 +123,17 @@ func RenderTree(t *core.Tree) string {
 // BruteForceTreeCost exhaustively minimizes Equation 1 for small n
 // (testing aid: verifies the DP). It searches all multisets of subtree
 // sizes per fan-out.
-func BruteForceTreeCost(n int, lev levelCost) float64 {
-	memo := map[int]float64{1: 0}
-	var solve func(n int) float64
-	solve = func(n int) float64 {
+func BruteForceTreeCost(n int, lev levelCost) units.Nanos {
+	memo := map[int]units.Nanos{1: 0}
+	var solve func(n int) units.Nanos
+	solve = func(n int) units.Nanos {
 		if c, ok := memo[n]; ok {
 			return c
 		}
-		best := math.Inf(1)
+		best := units.Nanos(math.Inf(1))
 		// Enumerate partitions of n-1 into k parts via the largest part.
-		var rec func(remaining, parts, largest int, maxCost float64, k int)
-		rec = func(remaining, parts, largest int, maxCost float64, k int) {
+		var rec func(remaining, parts, largest int, maxCost units.Nanos, k int)
+		rec = func(remaining, parts, largest int, maxCost units.Nanos, k int) {
 			if parts == 0 {
 				if remaining == 0 {
 					if c := lev(k) + maxCost; c < best {

@@ -30,7 +30,7 @@ func TestDPMatchesBruteForce(t *testing.T) {
 	for n := 1; n <= 14; n++ {
 		dp := Broadcast(m, n).CostNs
 		bf := BruteForceTreeCost(n, m.TLev)
-		if math.Abs(dp-bf) > 1e-6 {
+		if math.Abs((dp - bf).Float()) > 1e-6 {
 			t.Errorf("n=%d: DP cost %v != brute force %v", n, dp, bf)
 		}
 	}
@@ -41,11 +41,11 @@ func TestDPCostMatchesTreeEvaluation(t *testing.T) {
 	for _, n := range []int{2, 7, 32, 64} {
 		tt := Broadcast(m, n)
 		eval := m.BroadcastCost(tt.Tree)
-		if math.Abs(eval-tt.CostNs) > 1e-6 {
+		if math.Abs((eval - tt.CostNs).Float()) > 1e-6 {
 			t.Errorf("n=%d: DP cost %v but tree evaluates to %v", n, tt.CostNs, eval)
 		}
 		rt := Reduce(m, n)
-		if math.Abs(m.ReduceCost(rt.Tree)-rt.CostNs) > 1e-6 {
+		if math.Abs((m.ReduceCost(rt.Tree) - rt.CostNs).Float()) > 1e-6 {
 			t.Errorf("n=%d: reduce DP/tree mismatch", n)
 		}
 	}

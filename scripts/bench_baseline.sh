@@ -5,13 +5,17 @@
 #   scripts/bench_baseline.sh            # run benchmarks, write BENCH_sweep.json
 #   BENCHTIME=2s scripts/bench_baseline.sh
 #
-# The JSON holds two blocks:
-#   baseline — the pre-optimization engine (container/heap + two-channel
-#              scheduler), measured once before the rewrite and kept fixed
-#              as the comparison point;
-#   current  — this checkout, measured now: engine event throughput
-#              (ns/event, events/s, allocs/op) and the Figure 9 triad
-#              sweep wall-clock at -parallel 1 vs GOMAXPROCS.
+# The JSON holds three blocks:
+#   baseline   — the pre-optimization engine (container/heap + two-channel
+#                scheduler), measured once before the rewrite and kept fixed
+#                as the comparison point;
+#   current    — this checkout, measured now: engine event throughput
+#                (ns/event, events/s, allocs/op) and the Figure 9 triad
+#                sweep wall-clock at -parallel 1 vs GOMAXPROCS;
+#   trajectory — append-only history, one record per run: git SHA, UTC
+#                date, ns/event and allocs/op. Earlier records are
+#                preserved across runs, so the file accumulates the
+#                engine's performance trajectory over the repo's life.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,7 +46,17 @@ speedup=$(awk -v s="$serial_ns" -v p="$par_ns" 'BEGIN { printf "%.2f", s / p }')
 cores=$(go env GOMAXPROCS 2>/dev/null || echo "")
 [ -n "$cores" ] || cores=$(getconf _NPROCESSORS_ONLN)
 
-cat > "$out" <<EOF
+# Carry the trajectory forward before overwriting the file.
+traj='[]'
+if [ -f "$out" ]; then
+    traj=$(jq -c '.trajectory // []' "$out" 2>/dev/null || echo '[]')
+fi
+sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+today=$(date -u +%Y-%m-%d)
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+cat > "$tmp" <<EOF
 {
   "comment": "engine + sweep performance trajectory; regenerate with scripts/bench_baseline.sh",
   "baseline": {
@@ -76,6 +90,13 @@ cat > "$out" <<EOF
   }
 }
 EOF
+
+jq --argjson traj "$traj" \
+   --arg sha "$sha" --arg date "$today" \
+   --argjson ns_event "$ns_event" --argjson allocs "$allocs_op" \
+   '.trajectory = $traj + [{sha: $sha, date: $date,
+                            ns_per_event: $ns_event, allocs_per_op: $allocs}]' \
+   "$tmp" > "$out"
 
 echo "wrote $out:"
 cat "$out"
