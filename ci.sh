@@ -51,6 +51,8 @@ if [ "$quick" = 0 ]; then
     go test -run TestParallelEquivalence -race ./internal/exp/...
     step "tier-2: bench smoke (EngineEvent, 1 iteration)"
     go test -bench=EngineEvent -benchtime=1x -run '^$' ./internal/sim
+    step "tier-2: bench smoke (machine hot path, 1 iteration)"
+    go test -bench='LoadLineHotPath|PrimeFlush' -benchtime=1x -run '^$' ./internal/machine
 fi
 
 echo "ci.sh: all gates passed"

@@ -17,6 +17,10 @@
 //     *machine.Machine may not be captured by a go statement or sent over a
 //     channel — parallel experiments stay deterministic only while every
 //     point owns its environment.
+//   - linemap: the simulator hot-path packages may not declare maps keyed
+//     by cache.Line — per-line protocol state belongs in the dense line
+//     tables (DESIGN.md §4), which the PR introducing this analyzer showed
+//     to be several times faster than hashing on every off-tile access.
 //   - unitcheck: in the unit-bearing model packages, conversions may not
 //     strip or rebrand the typed physical units of internal/units, bare
 //     literals and same-unit operands may not be multiplied or divided
@@ -93,6 +97,11 @@ type Config struct {
 	// EnvShareExempt are packages allowed to share those types across
 	// goroutines: the process mechanism itself and the experiment runner.
 	EnvShareExempt []string
+	// LineMapPkgs are the simulator hot-path packages where the linemap
+	// analyzer forbids maps keyed by the line types in LineKeyTypes.
+	LineMapPkgs []string
+	// LineKeyTypes are the forbidden map-key types (as "pkgpath.Name").
+	LineKeyTypes []string
 	// UnitsPkg is the package defining the typed physical units; it is
 	// exempt from unitcheck because its converters ARE the blessed
 	// cross-unit operations.
@@ -132,6 +141,13 @@ func DefaultConfig() *Config {
 		EnvShareExempt: []string{
 			"knlcap/internal/sim",
 			"knlcap/internal/exp",
+		},
+		LineMapPkgs: []string{
+			"knlcap/internal/machine",
+			"knlcap/internal/memmode",
+		},
+		LineKeyTypes: []string{
+			"knlcap/internal/cache.Line",
 		},
 		UnitsPkg: "knlcap/internal/units",
 		UnitPkgs: []string{
@@ -191,7 +207,7 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, FloatCmp, ErrCheck, PrintBan, EnvShare, UnitCheck}
+	return []*Analyzer{Determinism, FloatCmp, ErrCheck, PrintBan, EnvShare, LineMap, UnitCheck}
 }
 
 // ByName resolves analyzer names; unknown names are an error.

@@ -13,6 +13,8 @@ func fixtureCfg() *Config {
 		OutputPkgs:     []string{"fix.example/outpkg"},
 		EnvShareTypes:  []string{"fix.example/fakesim.Env", "fix.example/fakesim.Machine"},
 		EnvShareExempt: []string{"fix.example/fakesim"},
+		LineMapPkgs:    []string{"fix.example/linemappkg"},
+		LineKeyTypes:   []string{"fix.example/fakecache.Line"},
 		UnitsPkg:       "fix.example/units",
 		UnitPkgs:       []string{"fix.example/unitpkg"},
 		UnitSigPkgs:    []string{"fix.example/unitpkg"},
@@ -176,6 +178,20 @@ func TestUnitCheckGolden(t *testing.T) {
 	})
 }
 
+func TestLineMapGolden(t *testing.T) {
+	diff(t, runOn(t, "fix.example/linemappkg", "linemap"), []string{
+		"testdata/src/linemappkg/linemappkg.go:10:9: linemap: map keyed by fakecache.Line in a hot-path package: per-line state belongs in the dense line tables (DESIGN.md §4)",
+		"testdata/src/linemappkg/linemappkg.go:13:19: linemap: map keyed by fakecache.Line in a hot-path package: per-line state belongs in the dense line tables (DESIGN.md §4)",
+		"testdata/src/linemappkg/linemappkg.go:14:9: linemap: map keyed by fakecache.Line in a hot-path package: per-line state belongs in the dense line tables (DESIGN.md §4)",
+	})
+}
+
+// TestLineMapScopedToHotPathPkgs: a Line-keyed map outside LineMapPkgs is
+// cold-path tooling and stays legal.
+func TestLineMapScopedToHotPathPkgs(t *testing.T) {
+	diff(t, runOn(t, "fix.example/linemapfree", "linemap"), nil)
+}
+
 // TestUnitCheckUnitsPkgExempt: the units package itself defines the
 // blessed converters, so unitcheck must not fire on its conversions.
 func TestUnitCheckUnitsPkgExempt(t *testing.T) {
@@ -213,7 +229,8 @@ func TestSuiteOverFixtures(t *testing.T) {
 	var pkgs []*Package
 	for _, path := range []string{
 		"fix.example/badlint", "fix.example/edgeig", "fix.example/envpkg",
-		"fix.example/errpkg", "fix.example/fakesim", "fix.example/fileig",
+		"fix.example/errpkg", "fix.example/fakecache", "fix.example/fakesim",
+		"fix.example/fileig", "fix.example/linemapfree", "fix.example/linemappkg",
 		"fix.example/modelpkg", "fix.example/outpkg", "fix.example/printpkg",
 		"fix.example/simfree", "fix.example/simpkg", "fix.example/unitpkg",
 		"fix.example/units",
@@ -236,6 +253,7 @@ func TestSuiteOverFixtures(t *testing.T) {
 		"printban":    4, // printpkg's two + errpkg's fmt.Println + edgeig's
 		"envshare":    4, // envpkg's two go captures, one send, one arg pass
 		"lint":        3, // badlint's + edgeig's unknown name + late file-ignore
+		"linemap":     3, // linemappkg's var, result type, composite literal
 		"unitcheck":   9,
 	}
 	for a, n := range want {

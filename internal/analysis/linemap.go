@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LineMap forbids map types keyed by the per-line address types
+// (cache.Line) in the simulator hot-path packages. Per-line protocol
+// metadata — directory bitsets, payload words, watch slots — lives in the
+// dense line tables of internal/machine (DESIGN.md §4): the bump allocator
+// makes line-address offsets dense indices, so a map there trades an array
+// access for a hash on every off-tile access of every simulated line.
+var LineMap = &Analyzer{
+	Name: "linemap",
+	Doc:  "forbids map[cache.Line] in simulator hot-path packages (use the dense line tables)",
+	Applies: func(cfg *Config, pkg *Package) bool {
+		return matchPkg(cfg.LineMapPkgs, pkg.Path)
+	},
+	Run: runLineMap,
+}
+
+func runLineMap(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			mt, ok := n.(*ast.MapType)
+			if !ok {
+				return true
+			}
+			name := lineKeyName(pass, pass.TypeOf(mt.Key))
+			if name == "" {
+				return true
+			}
+			pass.Reportf(mt.Pos(),
+				"map keyed by %s in a hot-path package: per-line state belongs in the dense line tables (DESIGN.md §4)",
+				name)
+			return true
+		})
+	}
+}
+
+// lineKeyName returns the display name of t when it is one of the
+// configured forbidden line-key types, and "" otherwise.
+func lineKeyName(pass *Pass, t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	if !matchPkg(pass.Cfg.LineKeyTypes, full) {
+		return ""
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}

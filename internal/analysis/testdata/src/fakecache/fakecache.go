@@ -1,0 +1,10 @@
+// Package fakecache stands in for knlcap/internal/cache in the linemap
+// fixtures: Line is the map-key type the analyzer is configured to forbid
+// in hot-path packages; Other is a same-shape type it must leave alone.
+package fakecache
+
+// Line mirrors cache.Line: a line-granular address.
+type Line uint64
+
+// Other is a distinct named uint64 the analyzer must not confuse with Line.
+type Other uint64

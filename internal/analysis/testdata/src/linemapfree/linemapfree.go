@@ -1,0 +1,11 @@
+// Package linemapfree holds a map keyed by fakecache.Line in a package
+// NOT listed in Config.LineMapPkgs: the linemap analyzer is scoped to the
+// hot-path packages and must stay silent here (cold-path tooling may
+// index by line freely).
+package linemapfree
+
+import "fix.example/fakecache"
+
+// Annotations is a report-side per-line note store; maps are fine off the
+// simulator hot path.
+var Annotations map[fakecache.Line]string

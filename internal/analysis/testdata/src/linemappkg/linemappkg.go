@@ -1,0 +1,30 @@
+// Package linemappkg is a linemap fixture: it is listed in
+// Config.LineMapPkgs, so every map keyed by fakecache.Line below must be
+// reported, while Line-valued maps, other key types, and the suppressed
+// declaration stay silent.
+package linemappkg
+
+import "fix.example/fakecache"
+
+// dir is the classic offender: a per-line directory map.
+var dir map[fakecache.Line]uint64
+
+// mkWatchers trips twice: the result type and the composite literal.
+func mkWatchers() map[fakecache.Line]int {
+	return map[fakecache.Line]int{}
+}
+
+// reverse is fine: Line as a VALUE is not per-line state indexing.
+var reverse map[uint64]fakecache.Line
+
+// otherKeyed is fine: Other is not a configured line-key type.
+var otherKeyed map[fakecache.Other]uint64
+
+//lint:ignore linemap cold-path debug index rebuilt per dump, never per access
+var debugIndex map[fakecache.Line]string
+
+var _ = dir
+var _ = reverse
+var _ = otherKeyed
+var _ = debugIndex
+var _ = mkWatchers

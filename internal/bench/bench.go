@@ -11,7 +11,9 @@
 package bench
 
 import (
+	"knlcap/internal/exp"
 	"knlcap/internal/knl"
+	"knlcap/internal/machine"
 	"knlcap/internal/stats"
 )
 
@@ -48,6 +50,30 @@ type Options struct {
 	// GOMAXPROCS, 1 runs the points serially in index order. Results are
 	// bit-identical at every setting.
 	Parallel int
+
+	// pool, when set, recycles machines across the measurement points of a
+	// sweep. The sweep drivers install one per worker (exp.RunPooled), so a
+	// pool is never shared between concurrent points; by the Machine.Reset
+	// contract the results stay bit-identical to unpooled runs.
+	pool *exp.MachinePool
+}
+
+// acquire hands out the point's machine for cfg — recycled when a sweep
+// installed a pool, freshly built otherwise.
+func (o Options) acquire(cfg knl.Config) *machine.Machine {
+	if o.pool == nil {
+		return machine.New(cfg)
+	}
+	return o.pool.Get(cfg, machine.DefaultParams(), cfg.YieldSeed)
+}
+
+// release returns a machine taken from acquire once its point is done.
+// Only machines whose simulation ran to completion may be released — Reset
+// refuses non-quiescent machines.
+func (o Options) release(m *machine.Machine) {
+	if o.pool != nil {
+		o.pool.Put(m)
+	}
 }
 
 // DefaultOptions returns measurement parameters sized for interactive runs.

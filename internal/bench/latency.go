@@ -89,12 +89,17 @@ func MeasureCacheLatencies(cfg knl.Config, o Options, remoteTargets int) CacheLa
 			pt{owner, cache.Shared},
 			pt{owner, cache.Forward})
 	}
-	meds := exp.Run(o.Parallel, len(pts), func(i int) float64 {
-		m := machine.New(cfg)
-		b := m.Alloc.MustAlloc(knl.DDR, 0, int64(o.ChaseLen)*knl.LineSize)
-		prime := func() { m.Prime(b, pts[i].owner, pts[i].st) }
-		return chase(m, 0, b, o, prime).Median
-	})
+	meds, _ := exp.RunPooled(exp.Config{Parallel: o.Parallel}, len(pts),
+		newWorkerPool, func(pool *exp.MachinePool, i int) float64 {
+			po := o
+			po.pool = pool
+			m := po.acquire(cfg)
+			b := m.Alloc.MustAlloc(knl.DDR, 0, int64(o.ChaseLen)*knl.LineSize)
+			prime := func() { m.Prime(b, pts[i].owner, pts[i].st) }
+			med := chase(m, 0, b, po, prime).Median
+			po.release(m)
+			return med
+		})
 
 	out.LocalL1 = meds[0]
 	out.TileM = meds[1]
@@ -128,20 +133,25 @@ type PerCoreLatency struct {
 // memory).
 func MeasurePerCoreLatencies(cfg knl.Config, o Options, states []cache.State) []PerCoreLatency {
 	const owners = knl.NumCores - 1
-	return exp.Run(o.Parallel, len(states)*owners, func(i int) PerCoreLatency {
-		st := states[i/owners]
-		owner := 1 + i%owners
-		m := machine.New(cfg)
-		b := m.Alloc.MustAlloc(knl.DDR, 0, int64(o.ChaseLen)*knl.LineSize)
-		var prime func()
-		if st == cache.Invalid {
-			prime = func() { m.FlushBuffer(b) }
-		} else {
-			prime = func() { m.Prime(b, owner, st) }
-		}
-		s := chase(m, 0, b, o, prime)
-		return PerCoreLatency{Core: owner, State: st, Latency: s.Median}
-	})
+	pts, _ := exp.RunPooled(exp.Config{Parallel: o.Parallel}, len(states)*owners,
+		newWorkerPool, func(pool *exp.MachinePool, i int) PerCoreLatency {
+			po := o
+			po.pool = pool
+			st := states[i/owners]
+			owner := 1 + i%owners
+			m := po.acquire(cfg)
+			b := m.Alloc.MustAlloc(knl.DDR, 0, int64(o.ChaseLen)*knl.LineSize)
+			var prime func()
+			if st == cache.Invalid {
+				prime = func() { m.FlushBuffer(b) }
+			} else {
+				prime = func() { m.Prime(b, owner, st) }
+			}
+			s := chase(m, 0, b, po, prime)
+			po.release(m)
+			return PerCoreLatency{Core: owner, State: st, Latency: s.Median}
+		})
+	return pts
 }
 
 // MemLatencies holds the Table II latency rows for one configuration.

@@ -161,7 +161,7 @@ func warmSideCache(m *machine.Machine, pools []threadBufs, k StreamKernel) {
 // counted bandwidth in GB/s.
 func MeasureMemBandwidth(cfg knl.Config, o Options, k StreamKernel,
 	kind knl.MemKind, nt bool, threads int, sched knl.Schedule) MemBWPoint {
-	m := machine.New(cfg)
+	m := o.acquire(cfg)
 	places := placesFor(sched, threads)
 	pools := allocPool(m, cfg, places, kind, o, k)
 	rng := stats.NewRNG(o.Seed ^ 0x5eed)
@@ -202,6 +202,7 @@ func MeasureMemBandwidth(cfg knl.Config, o Options, k StreamKernel,
 	for i, d := range maxes {
 		vals[i] = counted / d
 	}
+	o.release(m)
 	return MemBWPoint{
 		Config: cfg, Kernel: k, Kind: kind, NT: nt,
 		Threads: threads, Cores: knl.CoresUsed(places), Schedule: sched,
@@ -214,7 +215,7 @@ func MeasureMemBandwidth(cfg knl.Config, o Options, k StreamKernel,
 // the "peak" companion number reported next to the medians in Table II.
 func MeasureStreamPeak(cfg knl.Config, o Options, k StreamKernel,
 	kind knl.MemKind, threads int, sched knl.Schedule) float64 {
-	m := machine.New(cfg)
+	m := o.acquire(cfg)
 	places := placesFor(sched, threads)
 	pools := allocPool(m, cfg, places, kind, o, k)
 	var end float64
@@ -249,6 +250,7 @@ func MeasureStreamPeak(cfg knl.Config, o Options, k StreamKernel,
 		panic(err)
 	}
 	total := float64(threads) * float64(iters) * float64(o.StreamLines) * k.CountedBytesPerLine()
+	o.release(m)
 	return total / end
 }
 
@@ -263,11 +265,14 @@ func MaxMedianBandwidth(cfg knl.Config, o Options, k StreamKernel,
 	if len(scheds) == 0 {
 		scheds = []knl.Schedule{knl.FillTiles, knl.Compact}
 	}
-	pts := exp.Run(o.Parallel, len(scheds)*len(threadCounts), func(i int) MemBWPoint {
-		sc := scheds[i/len(threadCounts)]
-		n := threadCounts[i%len(threadCounts)]
-		return MeasureMemBandwidth(cfg, o, k, kind, nt, n, sc)
-	})
+	pts, _ := exp.RunPooled(exp.Config{Parallel: o.Parallel}, len(scheds)*len(threadCounts),
+		newWorkerPool, func(pool *exp.MachinePool, i int) MemBWPoint {
+			po := o
+			po.pool = pool
+			sc := scheds[i/len(threadCounts)]
+			n := threadCounts[i%len(threadCounts)]
+			return MeasureMemBandwidth(cfg, po, k, kind, nt, n, sc)
+		})
 	var best MemBWPoint
 	for _, p := range pts {
 		if p.GBs > best.GBs {
@@ -284,8 +289,15 @@ func TriadSweep(cfg knl.Config, o Options, sched knl.Schedule, counts []int) []M
 		counts = []int{1, 4, 8, 16, 32, 64, 128, 256}
 	}
 	kinds := []knl.MemKind{knl.MCDRAM, knl.DDR}
-	return exp.Run(o.Parallel, len(kinds)*len(counts), func(i int) MemBWPoint {
-		return MeasureMemBandwidth(cfg, o, KernelTriad, kinds[i/len(counts)], true,
-			counts[i%len(counts)], sched)
-	})
+	pts, _ := exp.RunPooled(exp.Config{Parallel: o.Parallel}, len(kinds)*len(counts),
+		newWorkerPool, func(pool *exp.MachinePool, i int) MemBWPoint {
+			po := o
+			po.pool = pool
+			return MeasureMemBandwidth(cfg, po, KernelTriad, kinds[i/len(counts)], true,
+				counts[i%len(counts)], sched)
+		})
+	return pts
 }
+
+// newWorkerPool builds one MachinePool per sweep worker (exp.RunPooled).
+func newWorkerPool() *exp.MachinePool { return new(exp.MachinePool) }

@@ -224,6 +224,14 @@ func (c *SetAssoc) Flush() {
 	}
 }
 
+// Reset empties the tag array and zeroes the LRU clock and counters,
+// returning it to the just-constructed state (machine pooling).
+func (c *SetAssoc) Reset() {
+	clear(c.entries)
+	c.tick = 0
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}
+
 // Stats returns cumulative hit/miss/eviction counters.
 func (c *SetAssoc) Stats() (hits, misses, evictions uint64) {
 	return c.hits, c.misses, c.evictions

@@ -94,6 +94,15 @@ func (d *DirectMapped) IsDirty(l Line) bool {
 	return d.valid[i] && d.tags[i] == l && d.dirty[i]
 }
 
+// Reset empties the tag array and zeroes the counters, returning it to
+// the just-constructed state (machine pooling).
+func (d *DirectMapped) Reset() {
+	clear(d.tags)
+	clear(d.valid)
+	clear(d.dirty)
+	d.hits, d.misses, d.evicted = 0, 0, 0
+}
+
 // Stats returns cumulative counters.
 func (d *DirectMapped) Stats() (hits, misses, evictions uint64) {
 	return d.hits, d.misses, d.evicted

@@ -18,6 +18,13 @@ import (
 func digestWorkload(t *testing.T, cfg knl.Config, seed uint64) (digest, events uint64, end float64) {
 	t.Helper()
 	m := NewWithParams(cfg, DefaultParams()) // jitter on: it must be deterministic too
+	return runDigestOps(t, m, seed)
+}
+
+// runDigestOps drives the digest workload over an existing machine, so
+// Reset tests can replay it on a recycled one (see reset_test.go).
+func runDigestOps(t *testing.T, m *Machine, seed uint64) (digest, events uint64, end float64) {
+	t.Helper()
 	var bufs []memmode.Buffer
 	for i := 0; i < 4; i++ {
 		bufs = append(bufs, m.Alloc.MustAlloc(knl.DDR, 0, 4*knl.LineSize))
@@ -119,11 +126,11 @@ func TestStateDigestSensitivity(t *testing.T) {
 	}
 
 	l := b.Line(0)
-	step("word store", func() { m.words[l] ^= 1 })
+	step("word store", func() { m.setWord(l, m.wordOf(l)^1) })
 	step("directory bit", func() { m.dirAdd(l, m.NumTiles()-1) })
 	step("L2 tag array", func() { m.tiles[1].l2.Insert(b.Line(1), cache.Shared) })
 	step("L1 tag array", func() { m.cores[1].l1.Insert(b.Line(1), cache.Shared) })
-	step("watcher signal", func() { m.watcher(b.Line(2)) })
+	step("watch slot", func() { m.markWatched(b.Line(2)) })
 	step("rng state", func() { m.rng.Uint64() })
 	step("memory-side cache", func() { m.Policy.Fill(0, b.Line(3)) })
 	step("memory channel traffic", func() {

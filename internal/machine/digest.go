@@ -4,18 +4,16 @@ import (
 	"encoding/binary"
 	"hash/fnv"
 	"math"
-	"sort"
-
-	"knlcap/internal/cache"
 )
 
 // StateDigest returns a 64-bit FNV-1a hash over the machine's complete
 // observable simulation state: the clock and event counter, the RNG
-// state, the coherence directory, the word store, the watcher signals,
+// state, the coherence directory, the word store, the watch slots,
 // every L1/L2 tag array, the serializing-resource counters, the memory
-// channel traffic, and the memory-side cache. Map contents are folded in
-// sorted-key order, so the digest is a function of the state alone, never
-// of Go's randomized map iteration.
+// channel traffic, and the memory-side cache. The dense line tables are
+// walked in ascending line order (DDR addresses sort below MCDRAM ones),
+// reproducing exactly the sorted-key fold of the former map design — the
+// digest is a function of the state alone.
 //
 // Two runs of the same workload on the same configuration and seed must
 // produce identical digests — the dynamic counterpart of the static
@@ -34,22 +32,43 @@ func (m *Machine) StateDigest() uint64 {
 		put(s)
 	}
 
-	put(uint64(len(m.dir)))
-	for _, l := range sortedLineKeys(m.dir) {
-		put(uint64(l))
-		put(m.dir[l])
+	put(uint64(m.lines[0].dirLive + m.lines[1].dirLive))
+	for k := range m.lines {
+		t := &m.lines[k]
+		for i := range t.slots {
+			s := &t.slots[i]
+			if s.owners != 0 && s.gen == t.bufGen[t.lineBuf[i]] {
+				put(uint64(t.base) + uint64(i))
+				put(s.owners)
+			}
+		}
 	}
-	put(uint64(len(m.words)))
-	for _, l := range sortedLineKeys(m.words) {
-		put(uint64(l))
-		put(m.words[l])
+	put(uint64(m.lines[0].words + m.lines[1].words))
+	for k := range m.lines {
+		t := &m.lines[k]
+		for i := range t.slots {
+			s := &t.slots[i]
+			if s.flags&slotWord != 0 {
+				put(uint64(t.base) + uint64(i))
+				put(s.word)
+			}
+		}
 	}
-	put(uint64(len(m.watchers)))
-	for _, l := range sortedLineKeys(m.watchers) {
-		w := m.watchers[l]
-		put(uint64(l))
-		put(w.Version())
-		put(uint64(w.Waiting()))
+	put(uint64(m.lines[0].watched + m.lines[1].watched))
+	for k := range m.lines {
+		t := &m.lines[k]
+		for i := range t.slots {
+			s := &t.slots[i]
+			if s.flags&slotWatched != 0 {
+				put(uint64(t.base) + uint64(i))
+				put(s.watchVer)
+				waiting := 0
+				if s.sig != nil {
+					waiting = s.sig.Waiting()
+				}
+				put(uint64(waiting))
+			}
+		}
 	}
 
 	for _, ts := range m.tiles {
@@ -71,16 +90,4 @@ func (m *Machine) StateDigest() uint64 {
 	}
 	put(m.Policy.Digest())
 	return h.Sum64()
-}
-
-// sortedLineKeys returns the map's line keys in ascending order, giving
-// map folding a deterministic traversal.
-func sortedLineKeys[V any](mm map[cache.Line]V) []cache.Line {
-	keys := make([]cache.Line, 0, len(mm))
-	//lint:ignore determinism key-collection loop; the sort below restores a total order
-	for l := range mm {
-		keys = append(keys, l)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	return keys
 }

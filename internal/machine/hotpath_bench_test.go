@@ -1,0 +1,45 @@
+package machine
+
+import (
+	"testing"
+
+	"knlcap/internal/cache"
+	"knlcap/internal/knl"
+)
+
+// BenchmarkLoadLineHotPath measures the simulator cost of the per-line
+// protocol walk itself: one thread striding over a 2 MB DDR buffer, so
+// nearly every access misses L2 and takes the full directory-to-memory
+// path through the dense line tables. bench_baseline.sh records its ns/op
+// as ns_per_line_access; allocs/op must stay 0 (amortized — table growth
+// is one-time setup).
+func BenchmarkLoadLineHotPath(b *testing.B) {
+	m := noJitterF(knl.DefaultConfig())
+	const lines = 32768 // 2 MB: far beyond one tile's L2 share
+	buf := m.Alloc.MustAlloc(knl.DDR, 0, lines*knl.LineSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Spawn(place(0), func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Load(buf, (i*7)%lines) // stride 7 is coprime to the buffer
+		}
+	})
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPrimeFlush measures the zero-time setup path benchmarks lean
+// on between iterations: priming a buffer into a core's caches and
+// retiring it again with the epoch flush.
+func BenchmarkPrimeFlush(b *testing.B) {
+	m := noJitterF(knl.DefaultConfig())
+	const lines = 256
+	buf := m.Alloc.MustAlloc(knl.DDR, 0, lines*knl.LineSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Prime(buf, 0, cache.Exclusive)
+		m.FlushBuffer(buf)
+	}
+}

@@ -129,6 +129,52 @@ func TestAllFifteenConfigurations(t *testing.T) {
 	}
 }
 
+// TestFlushedThenReprimedBehavesFresh checks the epoch-flush machinery: a
+// buffer that was primed, flushed (the epoch fast path), and re-primed
+// must be indistinguishable from one primed on a fresh machine — same
+// coherence state and identical load timing.
+func TestFlushedThenReprimedBehavesFresh(t *testing.T) {
+	cfg := knl.DefaultConfig()
+	const owner = 6 // off tile 0, so the load pays a real transfer
+
+	fresh := noJitter(cfg)
+	fb := fresh.Alloc.MustAlloc(knl.DDR, 0, 8*knl.LineSize)
+	fresh.Prime(fb, owner, cache.Modified)
+	var freshLat float64
+	runOne(t, fresh, place(0), func(th *Thread) {
+		s := th.Now()
+		th.Load(fb, 0)
+		freshLat = th.Now() - s
+	})
+
+	m := noJitter(cfg)
+	b := m.Alloc.MustAlloc(knl.DDR, 0, 8*knl.LineSize)
+	m.Prime(b, owner, cache.Modified)
+	m.FlushBuffer(b) // whole-allocation epoch flush
+	for li := 0; li < b.NumLines(); li++ {
+		l := b.Line(li)
+		if o := m.owners(l); o != 0 {
+			t.Fatalf("line %d: owners %b survive the flush", li, o)
+		}
+		for tile := 0; tile < m.NumTiles(); tile++ {
+			if st := m.LineState(tile, l); st != cache.Invalid {
+				t.Fatalf("line %d: tile %d still holds %v after flush", li, tile, st)
+			}
+		}
+	}
+	m.Prime(b, owner, cache.Modified)
+	checkCoherence(t, m, []memmode.Buffer{b})
+	var lat float64
+	runOne(t, m, place(0), func(th *Thread) {
+		s := th.Now()
+		th.Load(b, 0)
+		lat = th.Now() - s
+	})
+	if lat != freshLat {
+		t.Errorf("re-primed load = %v ns, fresh prime = %v ns", lat, freshLat)
+	}
+}
+
 // TestHybridModeSplitsMCDRAM checks hybrid mode specifics: flat MCDRAM is
 // allocatable AND the side cache exists with half the capacity.
 func TestHybridModeSplitsMCDRAM(t *testing.T) {

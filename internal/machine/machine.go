@@ -9,7 +9,7 @@
 package machine
 
 import (
-	"fmt"
+	"math/bits"
 
 	"knlcap/internal/cache"
 	"knlcap/internal/cluster"
@@ -55,16 +55,25 @@ type Machine struct {
 	tiles []*tileState
 	cores []*coreState
 
-	// dir maps a line to the set of tiles whose L2 holds it (any state).
-	dir map[cache.Line]uint64
-	// words stores one 64-bit payload per line for flags and reduce values.
-	words map[cache.Line]uint64
-	// watchers wakes pollers when a watched line is written or invalidated.
-	watchers map[cache.Line]*sim.Signal
+	// lines holds the dense per-line metadata tables — directory owner
+	// bitsets, payload words, watch slots — one per memory kind, replacing
+	// the former dir/words/watchers maps (see linetable.go).
+	lines [2]lineTable
 
 	rng    *stats.RNG
 	tracer Tracer
 }
+
+// Interned resource-name tables: a machine builds ~250 named resources,
+// and sweeps build (or reset) many machines, so the names are formatted
+// once per process instead of once per construction.
+var (
+	l2Names    = sim.NameTable("L2", knl.TileSlots)
+	chaNames   = sim.NameTable("CHA", knl.TileSlots)
+	portNames  = sim.NameTable("L2port", knl.TileSlots)
+	l1Names    = sim.NameTable("L1", knl.TileSlots*knl.CoresPerTile)
+	issueNames = sim.NameTable("issue", knl.TileSlots*knl.CoresPerTile)
+)
 
 // New builds a machine for the configuration with default timing parameters.
 func New(cfg knl.Config) *Machine {
@@ -94,35 +103,68 @@ func NewSeededWithParams(cfg knl.Config, p Params, seed uint64) *Machine {
 	env := sim.NewEnv()
 	fp := knl.NewFloorplan(cfg.YieldSeed)
 	m := &Machine{
-		Env:      env,
-		Cfg:      cfg,
-		FP:       fp,
-		Router:   mesh.NewRouter(fp, mesh.DefaultParams()),
-		Fabric:   mesh.NewLinkFabric(env, mesh.DefaultParams()),
-		Mapper:   cluster.NewMapper(fp, cfg),
-		Mem:      memory.NewSystem(env, cfg.Cluster),
-		Policy:   memmode.NewPolicy(cfg),
-		Alloc:    memmode.NewAllocator(cfg),
-		P:        p,
-		dir:      make(map[cache.Line]uint64),
-		words:    make(map[cache.Line]uint64),
-		watchers: make(map[cache.Line]*sim.Signal),
-		rng:      stats.NewRNG(seed ^ 0x6a17),
+		Env:    env,
+		Cfg:    cfg,
+		FP:     fp,
+		Router: mesh.NewRouter(fp, mesh.DefaultParams()),
+		Fabric: mesh.NewLinkFabric(env, mesh.DefaultParams()),
+		Mapper: cluster.NewMapper(fp, cfg),
+		Mem:    memory.NewSystem(env, cfg.Cluster),
+		Policy: memmode.NewPolicy(cfg),
+		Alloc:  memmode.NewAllocator(cfg),
+		P:      p,
+		rng:    stats.NewRNG(seed ^ 0x6a17),
 	}
+	m.lines[knl.DDR].init(knl.DDR, cache.LineOf(memmode.DDRBase))
+	m.lines[knl.MCDRAM].init(knl.MCDRAM, cache.LineOf(memmode.MCDRAMBase))
 	for t := 0; t < fp.NumTiles(); t++ {
 		m.tiles = append(m.tiles, &tileState{
-			l2:   cache.NewSetAssoc(fmt.Sprintf("L2[%d]", t), knl.L2Bytes, knl.L2Ways),
-			cha:  sim.NewResource(env, fmt.Sprintf("CHA[%d]", t), 1),
-			port: sim.NewResource(env, fmt.Sprintf("L2port[%d]", t), 1),
+			l2:   cache.NewSetAssoc(l2Names[t], knl.L2Bytes, knl.L2Ways),
+			cha:  sim.NewResource(env, chaNames[t], 1),
+			port: sim.NewResource(env, portNames[t], 1),
 		})
 	}
 	for c := 0; c < fp.NumTiles()*knl.CoresPerTile; c++ {
 		m.cores = append(m.cores, &coreState{
-			l1:    cache.NewSetAssoc(fmt.Sprintf("L1[%d]", c), knl.L1Bytes, knl.L1Ways),
-			issue: sim.NewResource(env, fmt.Sprintf("issue[%d]", c), 1),
+			l1:    cache.NewSetAssoc(l1Names[c], knl.L1Bytes, knl.L1Ways),
+			issue: sim.NewResource(env, issueNames[c], 1),
 		})
 	}
 	return m
+}
+
+// Reset returns the machine to the state NewSeededWithParams(m.Cfg, p,
+// seed) constructs, reusing every existing structure in place: the clock
+// and event counter restart, tag arrays, line tables, policy state,
+// resource statistics and channel counters are cleared, the allocator
+// forgets its buffers, and the jitter stream is reseeded. The topology
+// (floorplan, router, mapper) is a function of the configuration alone
+// and is kept. Reset panics if the previous Run left events queued or
+// processes live or blocked.
+//
+// The contract — relied on by exp.MachinePool and proved by
+// TestResetReplayDigest — is that a reset machine is digest-identical to
+// a freshly constructed one under any subsequent workload.
+func (m *Machine) Reset(p Params, seed uint64) {
+	m.Env.Reset()
+	for _, ts := range m.tiles {
+		ts.l2.Reset()
+		ts.cha.Reset()
+		ts.port.Reset()
+	}
+	for _, cs := range m.cores {
+		cs.l1.Reset()
+		cs.issue.Reset()
+	}
+	m.Mem.Reset()
+	m.Policy.Reset()
+	m.Fabric.Reset()
+	m.Alloc.Reset()
+	m.lines[knl.DDR].reset()
+	m.lines[knl.MCDRAM].reset()
+	m.P = p
+	m.rng = stats.NewRNG(seed ^ 0x6a17)
+	m.tracer = nil
 }
 
 // NumTiles returns the number of active tiles.
@@ -168,49 +210,33 @@ func (m *Machine) placeOf(b memmode.Buffer, l cache.Line) cluster.LinePlace {
 }
 
 // placeOfLine resolves placement for a bare line (reverse buffer lookup),
-// used for evicted victims.
+// used for evicted victims. The line table records each line's buffer, so
+// the lookup is O(1) instead of the allocator's binary search.
 func (m *Machine) placeOfLine(l cache.Line) (cluster.LinePlace, bool) {
-	b, ok := m.Alloc.FindBuffer(l.Addr())
-	if !ok {
-		return cluster.LinePlace{}, false
-	}
-	return m.placeOf(b, l), true
-}
-
-// --- directory helpers -----------------------------------------------------
-
-func (m *Machine) dirAdd(l cache.Line, tile int) {
-	m.dir[l] |= 1 << uint(tile)
-}
-
-func (m *Machine) dirRemove(l cache.Line, tile int) {
-	if owners, ok := m.dir[l]; ok {
-		owners &^= 1 << uint(tile)
-		if owners == 0 {
-			delete(m.dir, l)
-		} else {
-			m.dir[l] = owners
+	t, _, i := m.lineState(l)
+	id := t.lineBuf[i]
+	if id == 0 {
+		// The mapping may lag the allocator for a line whose region was
+		// extended before its buffer existed; sync once and re-check.
+		t.grow(m.Alloc, i)
+		if id = t.lineBuf[i]; id == 0 {
+			return cluster.LinePlace{}, false
 		}
 	}
+	return m.placeOf(t.bufs[id-1], l), true
 }
-
-// owners returns the tile bitset holding the line.
-func (m *Machine) owners(l cache.Line) uint64 { return m.dir[l] }
 
 // forwarder picks the tile that will source a cache-to-cache transfer for
 // the line, preferring M > E > F (Shared copies cannot forward in MESIF).
 func (m *Machine) forwarder(l cache.Line) (tile int, st cache.State, ok bool) {
-	owners := m.dir[l]
 	best := cache.Invalid
 	bestTile := -1
-	for t := 0; owners != 0; t++ {
-		if owners&1 != 0 {
-			s := m.tiles[t].l2.Peek(l)
-			if s.CanForward() && rankState(s) > rankState(best) {
-				best, bestTile = s, t
-			}
+	for o := m.owners(l); o != 0; o &= o - 1 {
+		t := bits.TrailingZeros64(o)
+		s := m.tiles[t].l2.Peek(l)
+		if s.CanForward() && rankState(s) > rankState(best) {
+			best, bestTile = s, t
 		}
-		owners >>= 1
 	}
 	if bestTile < 0 {
 		return 0, cache.Invalid, false
@@ -282,27 +308,69 @@ func (m *Machine) fillSideCache(p *sim.Proc, edc int, l cache.Line) {
 
 // --- zero-time setup helpers ------------------------------------------------
 
+// invalidateTags drops the line from the L2 and L1 tag arrays of every
+// tile in the owner bitset.
+func (m *Machine) invalidateTags(l cache.Line, owners uint64) {
+	for o := owners; o != 0; o &= o - 1 {
+		t := bits.TrailingZeros64(o)
+		m.tiles[t].l2.Invalidate(l)
+		for c := 0; c < knl.CoresPerTile; c++ {
+			m.cores[t*knl.CoresPerTile+c].l1.Invalidate(l)
+		}
+	}
+}
+
 // FlushLine removes a line from every cache (no timing cost; benchmark
 // setup only). Dirty data is discarded.
 func (m *Machine) FlushLine(l cache.Line) {
-	owners := m.dir[l]
-	for t := 0; owners != 0; t++ {
-		if owners&1 != 0 {
-			m.tiles[t].l2.Invalidate(l)
-			for c := 0; c < knl.CoresPerTile; c++ {
-				m.cores[t*knl.CoresPerTile+c].l1.Invalidate(l)
-			}
-		}
-		owners >>= 1
+	t, s, i := m.lineState(l)
+	if s.owners == 0 || s.gen != t.bufGen[t.lineBuf[i]] {
+		return
 	}
-	delete(m.dir, l)
+	m.invalidateTags(l, s.owners)
+	s.owners = 0
+	t.bufLive[t.lineBuf[i]]--
+	t.dirLive--
 }
 
-// FlushBuffer removes every line of the buffer from all caches.
+// FlushBuffer removes every line of the buffer from all caches. For a
+// whole registered allocation the directory entries die in one epoch bump
+// (generation counter) after the cached lines leave the tag arrays;
+// sub-buffer slices fall back to the per-line path.
 func (m *Machine) FlushBuffer(b memmode.Buffer) {
-	for i := 0; i < b.NumLines(); i++ {
+	n := b.NumLines()
+	if n == 0 {
+		return
+	}
+	t, _, lo := m.lineState(b.Line(0))
+	if id := t.lineBuf[lo]; id != 0 {
+		if rec := t.bufs[id-1]; rec.Base == b.Base && rec.Bytes == b.Bytes {
+			m.flushEpoch(t, id, lo, n)
+			return
+		}
+	}
+	for i := 0; i < n; i++ {
 		m.FlushLine(b.Line(i))
 	}
+}
+
+// flushEpoch retires a whole registered allocation: cached lines leave
+// the tag arrays (the walk stops as soon as the buffer's live count is
+// exhausted, so flushing an already-cold buffer is O(1)), then a single
+// generation bump kills every directory entry at once.
+func (m *Machine) flushEpoch(t *lineTable, id int32, lo, n int) {
+	g := t.bufGen[id]
+	for i, live := lo, t.bufLive[id]; live > 0 && i < lo+n; i++ {
+		s := &t.slots[i]
+		if s.owners == 0 || s.gen != g {
+			continue
+		}
+		m.invalidateTags(t.base+cache.Line(i), s.owners)
+		live--
+	}
+	t.bufGen[id] = g + 1
+	t.dirLive -= int(t.bufLive[id])
+	t.bufLive[id] = 0
 }
 
 // Prime installs every line of the buffer in the given core's caches with
@@ -360,21 +428,4 @@ func (m *Machine) LineState(tile int, l cache.Line) cache.State {
 // L1State reports the state of a line in a core's L1.
 func (m *Machine) L1State(core int, l cache.Line) cache.State {
 	return m.cores[core].l1.Peek(l)
-}
-
-// watcher returns (creating on demand) the signal for a watched line.
-func (m *Machine) watcher(l cache.Line) *sim.Signal {
-	w, ok := m.watchers[l]
-	if !ok {
-		w = sim.NewSignal(m.Env)
-		m.watchers[l] = w
-	}
-	return w
-}
-
-// notify wakes pollers of a line after a visible write.
-func (m *Machine) notify(l cache.Line) {
-	if w, ok := m.watchers[l]; ok {
-		w.Broadcast()
-	}
 }

@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"math/bits"
+
 	"knlcap/internal/cache"
 	"knlcap/internal/cluster"
 	"knlcap/internal/knl"
@@ -230,7 +232,7 @@ func (m *Machine) storeLine(p *sim.Proc, core int, b memmode.Buffer, l cache.Lin
 	m.meshTileToTile(p, tile, home)
 	cha := m.tiles[home].cha
 	cha.Acquire(p)
-	otherOwners := countBits(m.owners(l) &^ (1 << uint(tile)))
+	otherOwners := bits.OnesCount64(m.owners(l) &^ (1 << uint(tile)))
 	p.Wait(m.jitter(m.P.CHASvcNs + m.P.InvPerOwnerNs*float64(otherOwners)))
 
 	hadCopy := m.tiles[tile].l2.Peek(l).Readable()
@@ -267,7 +269,7 @@ func (m *Machine) storeLineNT(p *sim.Proc, core int, b memmode.Buffer, l cache.L
 		cha := m.tiles[home].cha
 		cha.Acquire(p)
 		owners := m.owners(l) // re-read under the directory lock
-		p.Wait(m.jitter(m.P.CHASvcNs + m.P.InvPerOwnerNs*float64(countBits(owners))))
+		p.Wait(m.jitter(m.P.CHASvcNs + m.P.InvPerOwnerNs*float64(bits.OnesCount64(owners))))
 		p.Wait(m.jitter(m.P.InvRoundTripNs))
 		m.invalidateOthers(-1, l) // -1: invalidate everywhere, incl. own tile
 		cha.Release()
@@ -293,30 +295,33 @@ func (m *Machine) memWrite(p *sim.Proc, place cluster.LinePlace, l cache.Line) {
 
 // invalidateOthers drops the line from every tile except `exceptTile`
 // (pass -1 to drop it everywhere). Pollers watching the line are woken by
-// the caller's notify.
+// the caller's notify. The directory update is a single slot access: the
+// dropped bits are cleared at once instead of one lookup-plus-write per
+// owning tile.
 func (m *Machine) invalidateOthers(exceptTile int, l cache.Line) {
-	owners := m.owners(l)
-	for t := 0; owners != 0; t++ {
-		if owners&1 != 0 && t != exceptTile {
-			m.tiles[t].l2.Invalidate(l)
-			m.invalidateTileL1s(t, l)
-			m.dirRemove(l, t)
-		}
-		owners >>= 1
+	t, s, i := m.lineState(l)
+	if s.owners == 0 || s.gen != t.bufGen[t.lineBuf[i]] {
+		return
 	}
+	var keep uint64
+	if exceptTile >= 0 {
+		keep = s.owners & (1 << uint(exceptTile))
+	}
+	drop := s.owners &^ keep
+	for o := drop; o != 0; o &= o - 1 {
+		ti := bits.TrailingZeros64(o)
+		m.tiles[ti].l2.Invalidate(l)
+		m.invalidateTileL1s(ti, l)
+	}
+	if drop != 0 && keep == 0 {
+		t.bufLive[t.lineBuf[i]]--
+		t.dirLive--
+	}
+	s.owners = keep
 }
 
 func (m *Machine) invalidateTileL1s(tile int, l cache.Line) {
 	for c := 0; c < knl.CoresPerTile; c++ {
 		m.cores[tile*knl.CoresPerTile+c].l1.Invalidate(l)
 	}
-}
-
-func countBits(v uint64) int {
-	n := 0
-	for v != 0 {
-		v &= v - 1
-		n++
-	}
-	return n
 }

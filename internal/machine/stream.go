@@ -1,8 +1,6 @@
 package machine
 
 import (
-	"sort"
-
 	"knlcap/internal/cache"
 	"knlcap/internal/knl"
 	"knlcap/internal/memmode"
@@ -21,73 +19,87 @@ import (
 // makes single-thread bandwidth latency-limited. This is the structure of
 // the paper's measurements (Table I bandwidth rows, Table II, Figs. 5/9).
 
-// chanKey identifies one memory channel in pending batches.
-type chanKey struct {
-	kind knl.MemKind
-	idx  int
-}
+// maxChans bounds the per-kind channel count (8 EDCs > 6 DDR channels).
+const maxChans = 8
 
-// pending accumulates batched channel work for one chunk.
+// pending accumulates batched channel work for one chunk as dense per-kind
+// per-channel counters — a chunk touches at most a handful of channels, and
+// the former map version allocated and hashed on every booked line. The
+// zero value is ready to use and a flush leaves it empty again, so streams
+// keep one instance on the stack for their whole run.
 type pending struct {
-	reads  map[chanKey]int
-	writes map[chanKey]int
+	reads  [2][maxChans]int32
+	writes [2][maxChans]int32
 	// async lines (write-backs of forwarded M data) are served by a helper
 	// process so they consume channel bandwidth without delaying the stream.
-	async map[chanKey]int
-}
-
-func newPending() *pending {
-	return &pending{
-		reads:  map[chanKey]int{},
-		writes: map[chanKey]int{},
-		async:  map[chanKey]int{},
-	}
+	async  [2][maxChans]int32
+	nAsync int32
 }
 
 // flush serves the accumulated lines. Per-channel batches are issued as
 // concurrent helper processes and joined, so a chunk's traffic queues at all
 // of its channels simultaneously (no convoy across channels, and reads
 // overlap writes on full-duplex ports). Async write-backs are fired and
-// forgotten.
+// forgotten. Iteration is kind-major then channel-ascending — the total
+// order the former map version sorted its keys into.
 func (pd *pending) flush(m *Machine, p *sim.Proc) {
 	type job struct {
-		k     chanKey
+		kind  knl.MemKind
+		idx   int
 		n     int
 		write bool
 	}
-	var jobs []job
-	for _, k := range sortedKeys(pd.reads) {
-		jobs = append(jobs, job{k, pd.reads[k], false})
+	var jobs [2 * 2 * maxChans]job
+	nj := 0
+	for k := range pd.reads {
+		for ch := range pd.reads[k] {
+			if n := pd.reads[k][ch]; n != 0 {
+				jobs[nj] = job{knl.MemKind(k), ch, int(n), false}
+				nj++
+				pd.reads[k][ch] = 0
+			}
+		}
 	}
-	for _, k := range sortedKeys(pd.writes) {
-		jobs = append(jobs, job{k, pd.writes[k], true})
+	for k := range pd.writes {
+		for ch := range pd.writes[k] {
+			if n := pd.writes[k][ch]; n != 0 {
+				jobs[nj] = job{knl.MemKind(k), ch, int(n), true}
+				nj++
+				pd.writes[k][ch] = 0
+			}
+		}
 	}
-	if len(pd.async) > 0 {
+	if pd.nAsync != 0 {
 		async := pd.async
 		m.Env.Go("wb", func(wp *sim.Proc) {
-			for _, k := range sortedKeys(async) {
-				m.Mem.Channel(k.kind, k.idx).ServeWrite(wp, async[k])
+			for k := range async {
+				for ch := range async[k] {
+					if n := async[k][ch]; n != 0 {
+						m.Mem.Channel(knl.MemKind(k), ch).ServeWrite(wp, int(n))
+					}
+				}
 			}
 		})
-		pd.async = map[chanKey]int{}
+		pd.async = [2][maxChans]int32{}
+		pd.nAsync = 0
 	}
 	serve := func(wp *sim.Proc, j job) {
-		ch := m.Mem.Channel(j.k.kind, j.k.idx)
+		ch := m.Mem.Channel(j.kind, j.idx)
 		if j.write {
 			ch.ServeWrite(wp, j.n)
 		} else {
 			ch.ServeRead(wp, j.n)
 		}
 	}
-	switch len(jobs) {
+	switch nj {
 	case 0:
 	case 1:
 		serve(p, jobs[0])
 	default:
 		done := sim.NewSignal(m.Env)
-		remaining := len(jobs)
-		for _, j := range jobs {
-			j := j
+		remaining := nj
+		for ji := 0; ji < nj; ji++ {
+			j := jobs[ji]
 			m.Env.Go("mem", func(wp *sim.Proc) {
 				serve(wp, j)
 				remaining--
@@ -98,23 +110,6 @@ func (pd *pending) flush(m *Machine, p *sim.Proc) {
 		}
 		done.Wait(p)
 	}
-	pd.reads = map[chanKey]int{}
-	pd.writes = map[chanKey]int{}
-}
-
-func sortedKeys(mm map[chanKey]int) []chanKey {
-	keys := make([]chanKey, 0, len(mm))
-	//lint:ignore determinism key-collection loop; the sort below restores a total order
-	for k := range mm {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].kind != keys[j].kind {
-			return keys[i].kind < keys[j].kind
-		}
-		return keys[i].idx < keys[j].idx
-	})
-	return keys
 }
 
 // pendWriteBack books an asynchronous dirty write-back of line l.
@@ -125,18 +120,21 @@ func (m *Machine) pendWriteBack(pd *pending, l cache.Line) {
 	}
 	if m.Policy.Enabled() && place.Kind == knl.DDR {
 		edc := m.Mapper.CacheEDC(place.Channel, l)
-		pd.async[chanKey{knl.MCDRAM, edc}]++
+		pd.async[knl.MCDRAM][edc]++
+		pd.nAsync++
 		if !m.Policy.Probe(edc, l) {
 			if victim, dirty, vok := m.Policy.Fill(edc, l); vok && dirty {
 				if vp, found := m.placeOfLine(victim); found {
-					pd.async[chanKey{knl.DDR, vp.Channel}]++
+					pd.async[knl.DDR][vp.Channel]++
+					pd.nAsync++
 				}
 			}
 		}
 		m.Policy.MarkDirty(edc, l)
 		return
 	}
-	pd.async[chanKey{place.Kind, place.Channel}]++
+	pd.async[place.Kind][place.Channel]++
+	pd.nAsync++
 }
 
 // pendMemRead books a batched memory read of line l, routing through the
@@ -146,19 +144,19 @@ func (m *Machine) pendMemRead(pd *pending, b memmode.Buffer, l cache.Line) {
 	if m.Policy.Enabled() && place.Kind == knl.DDR {
 		edc := m.Mapper.CacheEDC(place.Channel, l)
 		if m.Policy.Probe(edc, l) {
-			pd.reads[chanKey{knl.MCDRAM, edc}]++
+			pd.reads[knl.MCDRAM][edc]++
 			return
 		}
-		pd.reads[chanKey{knl.DDR, place.Channel}]++
-		pd.writes[chanKey{knl.MCDRAM, edc}]++ // simultaneous cache fill
+		pd.reads[knl.DDR][place.Channel]++
+		pd.writes[knl.MCDRAM][edc]++ // simultaneous cache fill
 		if victim, dirty, ok := m.Policy.Fill(edc, l); ok && dirty {
 			if vp, found := m.placeOfLine(victim); found {
-				pd.writes[chanKey{knl.DDR, vp.Channel}]++
+				pd.writes[knl.DDR][vp.Channel]++
 			}
 		}
 		return
 	}
-	pd.reads[chanKey{place.Kind, place.Channel}]++
+	pd.reads[place.Kind][place.Channel]++
 }
 
 // pendMemWrite books a batched memory write of line l (NT stores), routing
@@ -167,18 +165,18 @@ func (m *Machine) pendMemWrite(pd *pending, b memmode.Buffer, l cache.Line) {
 	place := m.placeOf(b, l)
 	if m.Policy.Enabled() && place.Kind == knl.DDR {
 		edc := m.Mapper.CacheEDC(place.Channel, l)
-		pd.writes[chanKey{knl.MCDRAM, edc}]++
+		pd.writes[knl.MCDRAM][edc]++
 		if !m.Policy.Probe(edc, l) {
 			if victim, dirty, ok := m.Policy.Fill(edc, l); ok && dirty {
 				if vp, found := m.placeOfLine(victim); found {
-					pd.writes[chanKey{knl.DDR, vp.Channel}]++
+					pd.writes[knl.DDR][vp.Channel]++
 				}
 			}
 		}
 		m.Policy.MarkDirty(edc, l)
 		return
 	}
-	pd.writes[chanKey{place.Kind, place.Channel}]++
+	pd.writes[place.Kind][place.Channel]++
 }
 
 // classify peeks where a line would be found, with no side effects.
@@ -373,7 +371,7 @@ func (m *Machine) topUp(p *sim.Proc, start, lat float64) {
 func (m *Machine) streamRead(p *sim.Proc, core int, b memmode.Buffer, from, n int, vector bool) {
 	end := from + n
 	i := from
-	pd := newPending()
+	var pd pending
 	for i < end {
 		first := b.Line(i)
 		cls := m.classify(core, first)
@@ -384,7 +382,7 @@ func (m *Machine) streamRead(p *sim.Proc, core int, b memmode.Buffer, from, n in
 		}
 		start := m.Env.Now()
 		for j := i; j < chunkEnd; j++ {
-			m.serialRead(p, core, b, b.Line(j), pd)
+			m.serialRead(p, core, b, b.Line(j), &pd)
 		}
 		pd.flush(m, p)
 		m.topUp(p, start, lat)
@@ -399,7 +397,7 @@ func (m *Machine) streamRead(p *sim.Proc, core int, b memmode.Buffer, from, n in
 func (m *Machine) streamWrite(p *sim.Proc, core int, b memmode.Buffer, from, n int, nt bool) {
 	end := from + n
 	i := from
-	pd := newPending()
+	var pd pending
 	for i < end {
 		chunkEnd := i + m.P.MLPMem
 		if chunkEnd > end {
@@ -418,9 +416,9 @@ func (m *Machine) streamWrite(p *sim.Proc, core int, b memmode.Buffer, from, n i
 		start := m.Env.Now()
 		for j := i; j < chunkEnd; j++ {
 			if nt {
-				m.serialWriteNT(p, core, b, b.Line(j), pd)
+				m.serialWriteNT(p, core, b, b.Line(j), &pd)
 			} else {
-				m.serialWrite(p, core, b, b.Line(j), pd)
+				m.serialWrite(p, core, b, b.Line(j), &pd)
 			}
 		}
 		pd.flush(m, p)
@@ -446,7 +444,7 @@ func (m *Machine) writeDrainLatency(b memmode.Buffer) float64 {
 // streamCopy copies n lines from src (starting srcFrom) to dst (dstFrom).
 func (m *Machine) streamCopy(p *sim.Proc, core int, dst, src memmode.Buffer, dstFrom, srcFrom, n int, nt bool) {
 	i := 0
-	pd := newPending()
+	var pd pending
 	for i < n {
 		first := src.Line(srcFrom + i)
 		cls := m.classify(core, first)
@@ -457,13 +455,13 @@ func (m *Machine) streamCopy(p *sim.Proc, core int, dst, src memmode.Buffer, dst
 		}
 		start := m.Env.Now()
 		for j := 0; j < chunk; j++ {
-			m.serialRead(p, core, src, src.Line(srcFrom+i+j), pd)
+			m.serialRead(p, core, src, src.Line(srcFrom+i+j), &pd)
 		}
 		for j := 0; j < chunk; j++ {
 			if nt {
-				m.serialWriteNT(p, core, dst, dst.Line(dstFrom+i+j), pd)
+				m.serialWriteNT(p, core, dst, dst.Line(dstFrom+i+j), &pd)
 			} else {
-				m.serialWrite(p, core, dst, dst.Line(dstFrom+i+j), pd)
+				m.serialWrite(p, core, dst, dst.Line(dstFrom+i+j), &pd)
 			}
 		}
 		pd.flush(m, p)
@@ -475,7 +473,7 @@ func (m *Machine) streamCopy(p *sim.Proc, core int, dst, src memmode.Buffer, dst
 // streamTriad performs dst[i] = b[i] + s*c[i] over n lines of each operand.
 func (m *Machine) streamTriad(p *sim.Proc, core int, dst, b, c memmode.Buffer, n int, nt bool) {
 	i := 0
-	pd := newPending()
+	var pd pending
 	for i < n {
 		first := b.Line(i)
 		cls := m.classify(core, first)
@@ -486,14 +484,14 @@ func (m *Machine) streamTriad(p *sim.Proc, core int, dst, b, c memmode.Buffer, n
 		}
 		start := m.Env.Now()
 		for j := 0; j < chunk; j++ {
-			m.serialRead(p, core, b, b.Line(i+j), pd)
-			m.serialRead(p, core, c, c.Line(i+j), pd)
+			m.serialRead(p, core, b, b.Line(i+j), &pd)
+			m.serialRead(p, core, c, c.Line(i+j), &pd)
 		}
 		for j := 0; j < chunk; j++ {
 			if nt {
-				m.serialWriteNT(p, core, dst, dst.Line(i+j), pd)
+				m.serialWriteNT(p, core, dst, dst.Line(i+j), &pd)
 			} else {
-				m.serialWrite(p, core, dst, dst.Line(i+j), pd)
+				m.serialWrite(p, core, dst, dst.Line(i+j), &pd)
 			}
 		}
 		pd.flush(m, p)

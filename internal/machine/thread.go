@@ -88,7 +88,7 @@ func (t *Thread) LoadWord(b memmode.Buffer, li int) uint64 {
 	cls := t.M.loadLine(t.P, t.Place.Core, b, l)
 	t.M.trace(OpRecord{Start: start, End: t.Now(), Core: t.Place.Core,
 		Kind: OpLoad, Source: cls.String(), Line: l})
-	return t.M.words[l]
+	return t.M.wordOf(l)
 }
 
 // StoreWord writes the 64-bit payload of line li (cost of a line store).
@@ -98,7 +98,7 @@ func (t *Thread) StoreWord(b memmode.Buffer, li int, v uint64) {
 	t.M.storeLine(t.P, t.Place.Core, b, l)
 	t.M.trace(OpRecord{Start: start, End: t.Now(), Core: t.Place.Core,
 		Kind: OpStore, Line: l})
-	t.M.words[l] = v
+	t.M.setWord(l, v)
 }
 
 // AddWord atomically adds delta to the payload of line li and returns the
@@ -109,18 +109,17 @@ func (t *Thread) AddWord(b memmode.Buffer, li int, delta uint64) uint64 {
 	t.M.storeLine(t.P, t.Place.Core, b, l)
 	t.M.trace(OpRecord{Start: start, End: t.Now(), Core: t.Place.Core,
 		Kind: OpStore, Line: l})
-	t.M.words[l] += delta
-	return t.M.words[l]
+	return t.M.addWord(l, delta)
 }
 
 // PeekWord returns the payload without any timing cost (test inspection).
 func (m *Machine) PeekWord(b memmode.Buffer, li int) uint64 {
-	return m.words[b.Line(li)]
+	return m.wordOf(b.Line(li))
 }
 
 // PokeWord sets the payload without any timing cost (setup).
 func (m *Machine) PokeWord(b memmode.Buffer, li int, v uint64) {
-	m.words[b.Line(li)] = v
+	m.setWord(b.Line(li), v)
 }
 
 // WaitWordGE polls the payload of line li until it is >= v, sleeping on the
@@ -129,9 +128,9 @@ func (m *Machine) PokeWord(b memmode.Buffer, li int, v uint64) {
 // coherent cache. Returns the observed value.
 func (t *Thread) WaitWordGE(b memmode.Buffer, li int, v uint64) uint64 {
 	l := b.Line(li)
-	w := t.M.watcher(l)
+	t.M.markWatched(l)
 	for {
-		ver := w.Version()
+		ver := t.M.watchVersion(l)
 		// Pay the read (hit if our cached copy is intact, coherence miss
 		// after an invalidation), then sample the value: the load may have
 		// waited behind the racing store.
@@ -139,10 +138,10 @@ func (t *Thread) WaitWordGE(b memmode.Buffer, li int, v uint64) uint64 {
 		cls := t.M.loadLine(t.P, t.Place.Core, b, l)
 		t.M.trace(OpRecord{Start: start, End: t.Now(), Core: t.Place.Core,
 			Kind: OpLoad, Source: cls.String(), Line: l})
-		if got := t.M.words[l]; got >= v {
+		if got := t.M.wordOf(l); got >= v {
 			return got
 		}
-		w.WaitVersion(t.P, ver)
+		t.M.waitWatch(t.P, l, ver)
 	}
 }
 

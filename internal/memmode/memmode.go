@@ -9,6 +9,7 @@ import (
 
 	"knlcap/internal/cache"
 	"knlcap/internal/knl"
+	"knlcap/internal/sim"
 )
 
 // DDRBase and MCDRAMBase separate the two technologies in the simulated
@@ -47,9 +48,20 @@ func NewPolicy(cfg knl.Config) *Policy {
 	}
 	p.slices = make([]*cache.DirectMapped, knl.NumEDC)
 	for e := range p.slices {
-		p.slices[e] = cache.NewDirectMapped(fmt.Sprintf("mcdram-cache[%d]", e), per)
+		p.slices[e] = cache.NewDirectMapped(sliceNames[e], per)
 	}
 	return p
+}
+
+// sliceNames interns the per-EDC slice names once for all machines.
+var sliceNames = sim.NameTable("mcdram-cache", knl.NumEDC)
+
+// Reset empties the side-cache slices in place (machine pooling); a
+// pass-through policy is a no-op.
+func (p *Policy) Reset() {
+	for _, s := range p.slices {
+		s.Reset()
+	}
 }
 
 // Enabled reports whether a memory-side cache exists (cache/hybrid modes).
@@ -195,6 +207,26 @@ func (a *Allocator) Alloc(kind knl.MemKind, affinity int, bytes int64) (Buffer, 
 		a.mcdramBufs = append(a.mcdramBufs, b)
 	}
 	return b, nil
+}
+
+// Buffers returns the allocation log of one kind in ascending base order
+// (bump allocation keeps it sorted). The machine's dense line tables sync
+// their buffer registry from it; callers must not mutate the slice.
+func (a *Allocator) Buffers(kind knl.MemKind) []Buffer {
+	if kind == knl.DDR {
+		return a.ddrBufs
+	}
+	return a.mcdramBufs
+}
+
+// Reset forgets every allocation and returns the bump pointers to the
+// base of each technology (machine pooling). Buffers handed out before
+// the Reset must not be used with the owning machine afterwards.
+func (a *Allocator) Reset() {
+	a.nextDDR = DDRBase
+	a.nextMCDRAM = MCDRAMBase
+	a.ddrBufs = a.ddrBufs[:0]
+	a.mcdramBufs = a.mcdramBufs[:0]
 }
 
 // FindBuffer returns the allocation containing the byte address, if any.

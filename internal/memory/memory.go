@@ -115,6 +115,33 @@ type Channel struct {
 	linesWritten uint64
 }
 
+// chanPorts holds the interned port names of one channel; the table below
+// covers every channel of the standard 6-DDR + 8-MCDRAM topology, so
+// machine construction formats no strings (non-standard indices, used only
+// by tests, fall back to fmt).
+type chanPorts struct{ cmd, rd, wr string }
+
+var chanNames = func() [2][]chanPorts {
+	var t [2][]chanPorts
+	for _, kind := range []knl.MemKind{knl.DDR, knl.MCDRAM} {
+		n := knl.DDRChannels
+		if kind == knl.MCDRAM {
+			n = knl.NumEDC
+		}
+		ports := make([]chanPorts, n)
+		for i := range ports {
+			ports[i] = mkChanPorts(kind, i)
+		}
+		t[kind] = ports
+	}
+	return t
+}()
+
+func mkChanPorts(kind knl.MemKind, index int) chanPorts {
+	tag := fmt.Sprintf("%v[%d]", kind, index)
+	return chanPorts{cmd: tag + ".cmd", rd: tag + ".rd", wr: tag + ".wr"}
+}
+
 // NewChannel builds a channel whose service times are the technology
 // parameters scaled by the mode-efficiency factor.
 func NewChannel(env *sim.Env, p DeviceParams, index int, eff float64) *Channel {
@@ -125,14 +152,19 @@ func NewChannel(env *sim.Env, p DeviceParams, index int, eff float64) *Channel {
 	scaled.ReadSvcNs *= eff
 	scaled.WriteSvcNs *= eff
 	scaled.CmdSvcNs *= eff
-	tag := fmt.Sprintf("%v[%d]", p.Kind, index)
+	var ports chanPorts
+	if int(p.Kind) < len(chanNames) && index < len(chanNames[p.Kind]) {
+		ports = chanNames[p.Kind][index]
+	} else {
+		ports = mkChanPorts(p.Kind, index)
+	}
 	return &Channel{
 		Kind:   p.Kind,
 		Index:  index,
 		params: scaled,
-		cmd:    sim.NewResource(env, tag+".cmd", 1),
-		read:   sim.NewResource(env, tag+".rd", 1),
-		write:  sim.NewResource(env, tag+".wr", 1),
+		cmd:    sim.NewResource(env, ports.cmd, 1),
+		read:   sim.NewResource(env, ports.rd, 1),
+		write:  sim.NewResource(env, ports.wr, 1),
 	}
 }
 
@@ -170,6 +202,15 @@ func (c *Channel) LinesRead() uint64 { return c.linesRead }
 // LinesWritten returns the cumulative number of lines written.
 func (c *Channel) LinesWritten() uint64 { return c.linesWritten }
 
+// Reset zeroes the channel's traffic counters and port statistics
+// (machine pooling).
+func (c *Channel) Reset() {
+	c.linesRead, c.linesWritten = 0, 0
+	c.cmd.Reset()
+	c.read.Reset()
+	c.write.Reset()
+}
+
 // QueueLen returns the instantaneous total queue depth across ports
 // (a congestion observable for reports).
 func (c *Channel) QueueLen() int {
@@ -194,6 +235,16 @@ func NewSystem(env *sim.Env, mode knl.ClusterMode) *System {
 		s.MCDRAM = append(s.MCDRAM, NewChannel(env, mp, i, me))
 	}
 	return s
+}
+
+// Reset zeroes every channel's counters and port statistics.
+func (s *System) Reset() {
+	for _, ch := range s.DDR {
+		ch.Reset()
+	}
+	for _, ch := range s.MCDRAM {
+		ch.Reset()
+	}
 }
 
 // Channel returns the channel of the given kind and index.

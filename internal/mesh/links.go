@@ -26,22 +26,45 @@ type LinkFabric struct {
 	FlitNs float64
 }
 
+// ringNames interns the per-ring resource names once for all machines.
+var ringNames = func() [2][][2]string {
+	var t [2][][2]string
+	t[0] = make([][2]string, knl.GridRows+2)
+	t[1] = make([][2]string, knl.GridCols)
+	for dim, prefix := range []string{"xring", "yring"} {
+		for i := range t[dim] {
+			for d := 0; d < 2; d++ {
+				t[dim][i][d] = fmt.Sprintf("%s[%d][%d]", prefix, i, d)
+			}
+		}
+	}
+	return t
+}()
+
 // NewLinkFabric builds ring resources for a GridCols x GridRows mesh.
 func NewLinkFabric(env *sim.Env, p Params) *LinkFabric {
 	f := &LinkFabric{p: p, FlitNs: 0.4}
 	f.rings[0] = make([][2]*sim.Resource, knl.GridRows+2) // X rings incl. EDC rows
-	for y := range f.rings[0] {
-		for d := 0; d < 2; d++ {
-			f.rings[0][y][d] = sim.NewResource(env, fmt.Sprintf("xring[%d][%d]", y, d), 1)
-		}
-	}
 	f.rings[1] = make([][2]*sim.Resource, knl.GridCols)
-	for x := range f.rings[1] {
-		for d := 0; d < 2; d++ {
-			f.rings[1][x][d] = sim.NewResource(env, fmt.Sprintf("yring[%d][%d]", x, d), 1)
+	for dim := range f.rings {
+		for i := range f.rings[dim] {
+			for d := 0; d < 2; d++ {
+				f.rings[dim][i][d] = sim.NewResource(env, ringNames[dim][i][d], 1)
+			}
 		}
 	}
 	return f
+}
+
+// Reset zeroes every ring segment's statistics (machine pooling).
+func (f *LinkFabric) Reset() {
+	for dim := range f.rings {
+		for i := range f.rings[dim] {
+			for d := 0; d < 2; d++ {
+				f.rings[dim][i][d].Reset()
+			}
+		}
+	}
 }
 
 // ringIndexY clamps a position's Y (EDCs sit at -1 and GridRows) onto the

@@ -1,0 +1,16 @@
+package sim
+
+import "fmt"
+
+// NameTable returns the n strings "prefix[0]" … "prefix[n-1]". Packages
+// that build many identically-shaped resources per machine (tiles, cores,
+// memory channels, mesh rings) intern their name tables once at package
+// init through this helper, so constructing — or pooling and resetting —
+// a machine formats no per-resource strings.
+func NameTable(prefix string, n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s[%d]", prefix, i)
+	}
+	return names
+}

@@ -105,6 +105,19 @@ func (r *Resource) Utilization() float64 {
 	return float64(r.busyTime) / float64(r.env.now)
 }
 
+// Reset zeroes the resource's statistics for machine reuse. It panics if
+// the resource is held or has waiters (Reset belongs between completed
+// simulation runs, never during one).
+func (r *Resource) Reset() {
+	if r.inUse != 0 || len(r.waiters) != 0 {
+		panic("sim: Reset of busy resource " + r.name)
+	}
+	r.acquires = 0
+	r.maxQueue = 0
+	r.busyTime = 0
+	r.lastChange = 0
+}
+
 func (r *Resource) accountBusy() {
 	if r.inUse > 0 {
 		r.busyTime += r.env.now - r.lastChange

@@ -275,6 +275,20 @@ func (e *Env) Run() (Time, error) {
 	return e.now, nil
 }
 
+// Reset returns a drained environment to time zero for reuse by a pooled
+// machine: the clock and event counter restart, while the resume-channel
+// free list (invisible to any digest) is kept. Reset panics if events are
+// still queued or processes are live or blocked — it may only run between
+// completed Runs.
+func (e *Env) Reset() {
+	if e.events.len() != 0 || e.live != 0 || e.blocked != 0 {
+		panic(fmt.Sprintf("sim: Reset of non-quiescent env (%d events, %d live, %d blocked)",
+			e.events.len(), e.live, e.blocked))
+	}
+	e.now = 0
+	e.seq = 0
+}
+
 // ErrDeadlock reports that the event queue drained while processes were
 // still blocked.
 var ErrDeadlock = errDeadlock{}

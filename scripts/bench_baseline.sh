@@ -10,19 +10,32 @@
 #                scheduler), measured once before the rewrite and kept fixed
 #                as the comparison point;
 #   current    — this checkout, measured now: engine event throughput
-#                (ns/event, events/s, allocs/op) and the Figure 9 triad
-#                sweep wall-clock at -parallel 1 vs GOMAXPROCS;
+#                (ns/event, events/s, allocs/op), the per-line-access cost
+#                of the machine hot path (ns_per_line_access), and the
+#                Figure 9 triad sweep wall-clock at -parallel 1 vs
+#                GOMAXPROCS;
 #   trajectory — append-only history, one record per run: git SHA, UTC
-#                date, ns/event and allocs/op. Earlier records are
-#                preserved across runs, so the file accumulates the
-#                engine's performance trajectory over the repo's life.
+#                date, ns/event, ns_per_line_access and allocs/op.
+#                Earlier records are preserved across runs, so the file
+#                accumulates the engine's performance trajectory over the
+#                repo's life.
+#
+# GOMAXPROCS is pinned explicitly (inherited value, else the online CPU
+# count) and recorded in the JSON, so a sweep speedup can be judged
+# against the parallelism it actually ran with: on a 1-CPU host the
+# parallel sweep cannot beat serial (speedup ~= 1; the pre-pooling runner
+# showed 0.98 from worker overhead with a single scheduler thread).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1s}"
 out="BENCH_sweep.json"
 
+cores="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
+export GOMAXPROCS="$cores"
+
 engine=$(go test -bench=EngineEventThroughput -benchmem -benchtime="$benchtime" -run '^$' ./internal/sim/)
+hotpath=$(go test -bench=LoadLineHotPath -benchmem -benchtime="$benchtime" -run '^$' ./internal/machine/)
 sweep=$(go test -bench=SweepParallel -benchtime=1x -run '^$' ./internal/exp/)
 
 # go test -bench output:
@@ -40,11 +53,20 @@ $(echo "$engine" | awk '/^BenchmarkEngineEventThroughput/ {
 }')
 EOF
 
+# BenchmarkLoadLineHotPath  N  <ns/op> ns/op  <B> B/op  <allocs> allocs/op
+read -r line_ns line_allocs <<EOF
+$(echo "$hotpath" | awk '/^BenchmarkLoadLineHotPath/ {
+    for (i = 1; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "allocs/op") a  = $(i-1)
+    }
+    print ns, a
+}')
+EOF
+
 serial_ns=$(echo "$sweep" | awk '/SweepParallel\/serial/     { for (i=1;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')
 par_ns=$(echo "$sweep"    | awk '/SweepParallel\/gomaxprocs/ { for (i=1;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')
 speedup=$(awk -v s="$serial_ns" -v p="$par_ns" 'BEGIN { printf "%.2f", s / p }')
-cores=$(go env GOMAXPROCS 2>/dev/null || echo "")
-[ -n "$cores" ] || cores=$(getconf _NPROCESSORS_ONLN)
 
 # Carry the trajectory forward before overwriting the file.
 traj='[]'
@@ -82,6 +104,10 @@ cat > "$tmp" <<EOF
       "bytes_per_op": $b_op,
       "allocs_per_op": $allocs_op
     },
+    "line_access": {
+      "ns_per_line_access": $line_ns,
+      "allocs_per_op": $line_allocs
+    },
     "fig9_triad_sweep": {
       "serial_ns_per_op": $serial_ns,
       "gomaxprocs_ns_per_op": $par_ns,
@@ -93,9 +119,12 @@ EOF
 
 jq --argjson traj "$traj" \
    --arg sha "$sha" --arg date "$today" \
-   --argjson ns_event "$ns_event" --argjson allocs "$allocs_op" \
+   --argjson ns_event "$ns_event" --argjson line_ns "$line_ns" \
+   --argjson allocs "$allocs_op" \
    '.trajectory = $traj + [{sha: $sha, date: $date,
-                            ns_per_event: $ns_event, allocs_per_op: $allocs}]' \
+                            ns_per_event: $ns_event,
+                            ns_per_line_access: $line_ns,
+                            allocs_per_op: $allocs}]' \
    "$tmp" > "$out"
 
 echo "wrote $out:"
