@@ -13,11 +13,15 @@
 // stable order.
 //
 // Exit codes: 0 no findings, 1 findings reported, 2 usage or load error.
+// An -analyzers list that names an unknown analyzer, or that selects
+// nothing at all, is a usage error: a lint run that silently checks
+// nothing must not look like a clean bill of health.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,32 +29,60 @@ import (
 )
 
 func main() {
-	fs := flag.NewFlagSet("knl-lint", flag.ExitOnError)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// fprintf and fprintln write diagnostics, deliberately dropping write
+// errors: a lint run whose own output pipe fails has nothing useful left
+// to report, and the exit code already carries the verdict.
+func fprintf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func fprintln(w io.Writer, args ...any) {
+	_, _ = fmt.Fprintln(w, args...)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("knl-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "module root directory")
 	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: knl-lint [-C dir] [-tests] [-json] [-analyzers list] [patterns...]")
+		fprintln(stderr, "usage: knl-lint [-C dir] [-tests] [-json] [-analyzers list] [patterns...]")
 		fs.PrintDefaults()
 	}
-	if err := fs.Parse(os.Args[1:]); err != nil {
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
 	analyzers := analysis.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	if *names != "" {
+		var selected []string
+		for _, n := range strings.Split(*names, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				selected = append(selected, n)
+			}
+		}
+		if len(selected) == 0 {
+			fprintf(stderr, "knl-lint: -analyzers %q selects no analyzers (valid: %s)\n",
+				*names, strings.Join(analysis.AnalyzerNames(), ", "))
+			return 2
+		}
 		var err error
-		analyzers, err = analysis.ByName(strings.Split(*names, ","))
+		analyzers, err = analysis.ByName(selected)
 		if err != nil {
-			fatal(err)
+			fprintln(stderr, "knl-lint:", err)
+			return 2
 		}
 	}
 
@@ -61,36 +93,36 @@ func main() {
 
 	loader, err := analysis.NewLoader(*dir)
 	if err != nil {
-		fatal(err)
+		fprintln(stderr, "knl-lint:", err)
+		return 2
 	}
 	cfg := analysis.DefaultConfig()
 	cfg.IncludeTests = *tests
 	loader.IncludeTests = *tests
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fatal(err)
+		fprintln(stderr, "knl-lint:", err)
+		return 2
 	}
 	if len(pkgs) == 0 {
-		fatal(fmt.Errorf("no packages matched %s", strings.Join(patterns, " ")))
+		fprintf(stderr, "knl-lint: no packages matched %s\n", strings.Join(patterns, " "))
+		return 2
 	}
 
 	findings := analysis.Run(cfg, pkgs, analyzers)
 	if *jsonOut {
-		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
-			fatal(err)
+		if err := analysis.WriteJSON(stdout, findings); err != nil {
+			fprintln(stderr, "knl-lint:", err)
+			return 2
 		}
 	} else {
 		for _, f := range findings {
-			fmt.Println(f)
+			fprintln(stdout, f)
 		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "knl-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
-		os.Exit(1)
+		fprintf(stderr, "knl-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "knl-lint:", err)
-	os.Exit(2)
+	return 0
 }

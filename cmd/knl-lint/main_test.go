@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The -analyzers flag is checked before any package loading, so these
+// tests run without touching the module on disk.
+
+// TestUnknownAnalyzerExits2 pins the regression: a typoed analyzer name
+// must be a usage error (exit 2) that names the valid choices — not a
+// silent run of nothing that exits 0 and reads as a clean lint.
+func TestUnknownAnalyzerExits2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-analyzers", "determinsm"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, `"determinsm"`) {
+		t.Errorf("stderr does not name the offending analyzer: %s", msg)
+	}
+	for _, name := range []string{"determinism", "statecov", "hotalloc"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("stderr does not list valid analyzer %q: %s", name, msg)
+		}
+	}
+}
+
+// TestEmptySelectionExits2: a list that trims away to nothing (e.g. ",")
+// must not silently run zero analyzers.
+func TestEmptySelectionExits2(t *testing.T) {
+	for _, arg := range []string{",", " , ", ",,"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-analyzers", arg}, &stdout, &stderr)
+		if code != 2 {
+			t.Errorf("-analyzers %q: exit code = %d, want 2", arg, code)
+		}
+		if !strings.Contains(stderr.String(), "selects no analyzers") {
+			t.Errorf("-analyzers %q: stderr lacks explanation: %s", arg, stderr.String())
+		}
+	}
+}
+
+// TestListExits0 keeps -list a query, not a lint run.
+func TestListExits0(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "statecov", "hotalloc"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output lacks analyzer %q", name)
+		}
+	}
+}

@@ -28,6 +28,23 @@
 //     .Float()/.Int() magnitudes of different units may not be mixed, and
 //     (in UnitSigPkgs) exported signatures may not pass quantities as bare
 //     float64 (see DESIGN.md §7).
+//   - statecov: every field of the state-bearing simulator structs
+//     (StateCovTypes) must be reachable from both the StateDigest fold and
+//     the Reset path — otherwise determinism checks are blind to it or
+//     pooled-machine reuse leaks it. Genuinely non-state fields carry a
+//     justified `//knl:nostate <reason>` directive on their declaration.
+//   - hotalloc: from functions annotated `//knl:hotpath`, the call graph
+//     is walked and allocation-causing constructs (escaping composite
+//     literals, append without capacity evidence, map creation/insertion,
+//     closures, fmt calls, interface boxing, string concatenation) are
+//     flagged, except in basic blocks that cannot reach the function's
+//     exit (panic guards). This is the static twin of the -benchmem
+//     allocs/op gate in ci.sh.
+//
+// statecov and hotalloc are whole-program analyzers: they run once over
+// the full loaded package set, on top of the basic-block CFG (cfg.go) and
+// class-hierarchy call graph (callgraph.go) this package exposes as
+// reusable infrastructure.
 //
 // Findings print as "file:line:col: analyzer: message"; knl-lint -json
 // emits the same findings as a sorted JSON array (see JSONFinding). A
@@ -51,6 +68,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // A Finding is one diagnostic produced by an analyzer.
@@ -66,14 +84,20 @@ func (f Finding) String() string {
 		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// An Analyzer is one named check over a type-checked package.
+// An Analyzer is one named check. Per-package analyzers set Run and are
+// invoked once per loaded package; whole-program analyzers set RunProgram
+// instead and are invoked once with the full package set and the shared
+// call graph. Exactly one of Run and RunProgram must be non-nil.
 type Analyzer struct {
 	Name string
 	Doc  string
 	// Applies reports whether the analyzer runs over the package at all
-	// (package-level scoping/allowlists). Nil means every package.
+	// (package-level scoping/allowlists). Nil means every package. Ignored
+	// for whole-program analyzers, which scope themselves.
 	Applies func(cfg *Config, pkg *Package) bool
 	Run     func(pass *Pass)
+	// RunProgram is the whole-program entry point (statecov, hotalloc).
+	RunProgram func(pass *ProgramPass)
 }
 
 // Config scopes the analyzers to package sets and carries shared options.
@@ -113,6 +137,16 @@ type Config struct {
 	// exported signatures (quantities crossing those APIs must carry a
 	// unit type).
 	UnitSigPkgs []string
+	// StateCovTypes are the state-bearing structs (as "pkgpath.Name") whose
+	// every field statecov requires to be reachable from both the digest
+	// fold and the reset path, unless annotated //knl:nostate <reason>.
+	StateCovTypes []string
+	// StateCovDigestRoots are the digest-fold entry points, in
+	// types.Func.FullName form (e.g. "(*pkg.Machine).StateDigest"). A field
+	// is digest-covered if any function reachable from a root reads it.
+	StateCovDigestRoots []string
+	// StateCovResetRoots are the reset-path entry points, same form.
+	StateCovResetRoots []string
 	// IncludeTests makes the loader include in-package _test.go files.
 	IncludeTests bool
 }
@@ -164,6 +198,20 @@ func DefaultConfig() *Config {
 			"knlcap/internal/core",
 			"knlcap/internal/msort",
 		},
+		StateCovTypes: []string{
+			"knlcap/internal/machine.Machine",
+			"knlcap/internal/machine.lineTable",
+			"knlcap/internal/sim.Env",
+			"knlcap/internal/sim.eventQueue",
+			"knlcap/internal/sim.Resource",
+			"knlcap/internal/memory.Channel",
+		},
+		StateCovDigestRoots: []string{
+			"(*knlcap/internal/machine.Machine).StateDigest",
+		},
+		StateCovResetRoots: []string{
+			"(*knlcap/internal/machine.Machine).Reset",
+		},
 	}
 }
 
@@ -205,12 +253,46 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return p.Pkg.Info.ObjectOf(id)
 }
 
-// All returns the full analyzer suite in stable order.
-func All() []*Analyzer {
-	return []*Analyzer{Determinism, FloatCmp, ErrCheck, PrintBan, EnvShare, LineMap, UnitCheck}
+// ProgramPass is a whole-program analyzer's view of the full loaded
+// package set. The call graph is built once per Run and shared by every
+// whole-program analyzer in the batch.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Cfg      *Config
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Graph    *CallGraph
+
+	findings *[]Finding
 }
 
-// ByName resolves analyzer names; unknown names are an error.
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, FloatCmp, ErrCheck, PrintBan, EnvShare, LineMap, UnitCheck, StateCov, HotAlloc}
+}
+
+// AnalyzerNames returns the sorted names of the full suite.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName resolves analyzer names; unknown names are an error naming the
+// valid choices, so a typo on the knl-lint command line cannot silently
+// run nothing.
 func ByName(names []string) ([]*Analyzer, error) {
 	byName := map[string]*Analyzer{}
 	for _, a := range All() {
@@ -220,7 +302,8 @@ func ByName(names []string) ([]*Analyzer, error) {
 	for _, n := range names {
 		a, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+			return nil, fmt.Errorf("analysis: unknown analyzer %q (valid: %s)",
+				n, strings.Join(AnalyzerNames(), ", "))
 		}
 		out = append(out, a)
 	}
@@ -228,11 +311,17 @@ func ByName(names []string) ([]*Analyzer, error) {
 }
 
 // Run executes the analyzers over the packages, applies suppression
-// directives, and returns the surviving findings sorted by position.
+// directives, and returns the surviving findings sorted by position and
+// deduplicated: two analyzer paths reporting the identical diagnostic at
+// the identical position collapse to one finding, so -json output never
+// carries duplicates.
 func Run(cfg *Config, pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var raw []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			if a.Applies != nil && !a.Applies(cfg, pkg) {
 				continue
 			}
@@ -246,6 +335,24 @@ func Run(cfg *Config, pkgs []*Package, analyzers []*Analyzer) []Finding {
 			a.Run(pass)
 		}
 	}
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if graph == nil {
+			graph = BuildCallGraph(pkgs)
+		}
+		pass := &ProgramPass{
+			Analyzer: a,
+			Cfg:      cfg,
+			Fset:     fsetOf(pkgs),
+			Pkgs:     pkgs,
+			Graph:    graph,
+			findings: &raw,
+		}
+		a.RunProgram(pass)
+	}
 	out := applySuppressions(pkgs, raw)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -258,7 +365,33 @@ func Run(cfg *Config, pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
+	return dedupe(out)
+}
+
+// fsetOf returns the shared FileSet of the loaded packages (all packages
+// of one Run come from one Loader).
+func fsetOf(pkgs []*Package) *token.FileSet {
+	for _, p := range pkgs {
+		if p.Fset != nil {
+			return p.Fset
+		}
+	}
+	return token.NewFileSet()
+}
+
+// dedupe collapses adjacent identical findings in a sorted slice.
+func dedupe(findings []Finding) []Finding {
+	out := findings[:0]
+	for i, f := range findings {
+		if i > 0 && f == findings[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
 	return out
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"strings"
 	"sync"
 	"testing"
 )
@@ -18,6 +19,12 @@ func fixtureCfg() *Config {
 		UnitsPkg:       "fix.example/units",
 		UnitPkgs:       []string{"fix.example/unitpkg"},
 		UnitSigPkgs:    []string{"fix.example/unitpkg"},
+		StateCovTypes: []string{
+			"fix.example/statecov.Machine",
+			"fix.example/statecov.Queue",
+		},
+		StateCovDigestRoots: []string{"(*fix.example/statecov.Machine).StateDigest"},
+		StateCovResetRoots:  []string{"(*fix.example/statecov.Machine).Reset"},
 	}
 }
 
@@ -215,9 +222,55 @@ func TestSuppressionEdgeCases(t *testing.T) {
 }
 
 func TestByNameUnknown(t *testing.T) {
-	if _, err := ByName([]string{"determinism", "nope"}); err == nil {
+	_, err := ByName([]string{"determinism", "nope"})
+	if err == nil {
 		t.Fatal("ByName accepted unknown analyzer name")
 	}
+	// The error must name the valid analyzers so a knl-lint typo is
+	// self-correcting rather than a silent no-op.
+	for _, name := range AnalyzerNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("ByName error does not list valid analyzer %q: %v", name, err)
+		}
+	}
+}
+
+// TestStateCovGolden: the miniature machine misses deliberately chosen
+// fields on each side of the digest/reset contract. Deleting a field from
+// the fold (miss, driver, pad, Queue.events) or a Reset assignment (temp,
+// driver, pad) is exactly what these findings prove statecov catches.
+func TestStateCovGolden(t *testing.T) {
+	diff(t, runOn(t, "fix.example/statecov", "statecov"), []string{
+		"testdata/src/statecov/statecov.go:11:2: statecov: field Machine.miss is not touched by the reset path from (*fix.example/statecov.Machine).Reset; reset it or annotate //knl:nostate <reason>",
+		"testdata/src/statecov/statecov.go:12:2: statecov: field Machine.temp is not folded by the digest path from (*fix.example/statecov.Machine).StateDigest; add it to the fold or annotate //knl:nostate <reason>",
+		"testdata/src/statecov/statecov.go:14:2: statecov: field Machine.driver is not folded by the digest path from (*fix.example/statecov.Machine).StateDigest; add it to the fold or annotate //knl:nostate <reason>",
+		"testdata/src/statecov/statecov.go:14:2: statecov: field Machine.driver is not touched by the reset path from (*fix.example/statecov.Machine).Reset; reset it or annotate //knl:nostate <reason>",
+		"testdata/src/statecov/statecov.go:17:2: statecov: field Machine.pad is not folded by the digest path from (*fix.example/statecov.Machine).StateDigest; add it to the fold or annotate //knl:nostate <reason>",
+		"testdata/src/statecov/statecov.go:17:2: statecov: field Machine.pad is not touched by the reset path from (*fix.example/statecov.Machine).Reset; reset it or annotate //knl:nostate <reason>",
+		"testdata/src/statecov/statecov.go:17:17: statecov: knl:nostate on Machine.pad needs a reason",
+		"testdata/src/statecov/statecov.go:24:2: statecov: field Queue.events is not folded by the digest path from (*fix.example/statecov.Machine).StateDigest; add it to the fold or annotate //knl:nostate <reason>",
+	})
+}
+
+// TestHotAllocGolden: every allocating construct in the //knl:hotpath
+// closure fires (a map insert under the root being the acceptance case),
+// the panic guard's fmt.Sprintf stays exempt via the doomed-block CFG
+// analysis, the justified //lint:ignore suppresses its make, and Cold()
+// stays free to allocate.
+func TestHotAllocGolden(t *testing.T) {
+	diff(t, runOn(t, "fix.example/hotpkg", "hotalloc"), []string{
+		"testdata/src/hotpkg/hotpkg.go:26:9: hotalloc: make on hot path from (*fix.example/hotpkg.Engine).Step",
+		"testdata/src/hotpkg/hotpkg.go:28:2: hotalloc: map insert on hot path from (*fix.example/hotpkg.Engine).Step",
+		"testdata/src/hotpkg/hotpkg.go:57:7: hotalloc: escaping composite literal (&T{...}) on hot path from (*fix.example/hotpkg.Engine).Step",
+		"testdata/src/hotpkg/hotpkg.go:58:24: hotalloc: fmt.Sprintf call on hot path from (*fix.example/hotpkg.Engine).Step",
+		"testdata/src/hotpkg/hotpkg.go:59:9: hotalloc: slice literal on hot path from (*fix.example/hotpkg.Engine).Step",
+		"testdata/src/hotpkg/hotpkg.go:60:11: hotalloc: append without capacity evidence (x = append(x, ...) is accepted) on hot path from (*fix.example/hotpkg.Engine).Step",
+		"testdata/src/hotpkg/hotpkg.go:61:7: hotalloc: closure creation on hot path from (*fix.example/hotpkg.Engine).Step",
+		"testdata/src/hotpkg/hotpkg.go:62:2: hotalloc: map insert on hot path from (*fix.example/hotpkg.Engine).Step",
+		"testdata/src/hotpkg/hotpkg.go:63:13: hotalloc: string concatenation on hot path from (*fix.example/hotpkg.Engine).Step",
+		"testdata/src/hotpkg/hotpkg.go:64:6: hotalloc: interface boxing of int argument on hot path from (*fix.example/hotpkg.Engine).Step",
+		"testdata/src/hotpkg/hotpkg.go:65:6: hotalloc: interface conversion (boxes the operand) on hot path from (*fix.example/hotpkg.Engine).Step",
+	})
 }
 
 // TestSuiteOverFixtures runs the full suite over every fixture package at
@@ -230,10 +283,10 @@ func TestSuiteOverFixtures(t *testing.T) {
 	for _, path := range []string{
 		"fix.example/badlint", "fix.example/edgeig", "fix.example/envpkg",
 		"fix.example/errpkg", "fix.example/fakecache", "fix.example/fakesim",
-		"fix.example/fileig", "fix.example/linemapfree", "fix.example/linemappkg",
-		"fix.example/modelpkg", "fix.example/outpkg", "fix.example/printpkg",
-		"fix.example/simfree", "fix.example/simpkg", "fix.example/unitpkg",
-		"fix.example/units",
+		"fix.example/fileig", "fix.example/hotpkg", "fix.example/linemapfree",
+		"fix.example/linemappkg", "fix.example/modelpkg", "fix.example/outpkg",
+		"fix.example/printpkg", "fix.example/simfree", "fix.example/simpkg",
+		"fix.example/statecov", "fix.example/unitpkg", "fix.example/units",
 	} {
 		pkg, ok := pkgsByPath[path]
 		if !ok {
@@ -255,6 +308,8 @@ func TestSuiteOverFixtures(t *testing.T) {
 		"lint":        3, // badlint's + edgeig's unknown name + late file-ignore
 		"linemap":     3, // linemappkg's var, result type, composite literal
 		"unitcheck":   9,
+		"statecov":    8,  // the statecov fixture's coverage gaps
+		"hotalloc":    11, // the hotpkg fixture's closure, minus the suppressed make
 	}
 	for a, n := range want {
 		if perAnalyzer[a] != n {

@@ -1,0 +1,437 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the basic-block control-flow graph underlying the
+// flow-aware analyzers (hotalloc today; anything that needs to reason
+// about *paths* through a function rather than its syntax tree). The
+// graph is built from the AST alone — no SSA, no go/types — which keeps
+// it cheap enough to construct on demand for every function the call
+// graph reaches.
+//
+// Blocks hold the function's "simple" statements plus the header
+// expressions of control statements (an if condition, a switch tag, a
+// range operand), so every expression of the body appears in exactly one
+// block and a per-block scan visits each allocation site once. Function
+// literals are NOT inlined: a FuncLit appears as a node of the block
+// that creates it, and its body belongs to the closure's own CFG.
+//
+// The one flow fact the analyzers currently consume is panic-doom: a
+// block from which every path ends in a panic (or an unconditional
+// runtime abort) can never reach the function's exit, so work done there
+// — formatting a panic message with fmt.Sprintf, building an error value
+// — happens at most once per simulation lifetime and is exempt from
+// hot-path allocation discipline.
+
+// A Block is one basic block: a maximal run of nodes with a single entry
+// and a single exit point.
+type Block struct {
+	Index int
+	// Nodes are the block's statements and control-header expressions in
+	// source order. Nested control flow is NOT included: the bodies of an
+	// if/for/switch live in their own blocks.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks. A block ending in return
+	// or panic has none.
+	Succs []*Block
+
+	reachesExit bool
+}
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+}
+
+// ReachesExit reports whether any path from the block reaches the
+// function's exit (a return statement or falling off the end of the
+// body). Blocks for which it is false are doomed: every path out of them
+// panics, so their nodes run at most once before the process dies.
+func (g *CFG) ReachesExit(b *Block) bool { return b.reachesExit }
+
+// BuildCFG constructs the control-flow graph of a function body. A nil
+// body (a declaration without a Go implementation) yields a graph with a
+// single empty entry block.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}, labels: map[string]*Block{}}
+	b.g.Entry = b.newBlock()
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	// The block control falls out of is the implicit return.
+	b.exits = append(b.exits, b.cur)
+	b.resolveGotos()
+	b.markExitReachability()
+	return b.g
+}
+
+// branchTarget is one enclosing breakable/continuable construct.
+type branchTarget struct {
+	label          string // "" for unlabeled constructs
+	brk, cont      *Block // cont is nil for switch/select
+	acceptsUnlabel bool   // switches/loops take bare break; only loops take bare continue
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	g       *CFG
+	cur     *Block
+	targets []branchTarget
+	labels  map[string]*Block
+	gotos   []pendingGoto
+	exits   []*Block
+	// pendingLabel is the label of an enclosing LabeledStmt, consumed by
+	// the next loop/switch/select so `break L` / `continue L` resolve.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// terminate ends the current block with no fallthrough successor and
+// starts a fresh (unreachable until targeted) block.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for a breakable construct.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) push(t branchTarget) { b.targets = append(b.targets, t) }
+func (b *cfgBuilder) pop()                { b.targets = b.targets[:len(b.targets)-1] }
+
+func (b *cfgBuilder) findBreak(label string) *Block {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if (label == "" && t.acceptsUnlabel) || (label != "" && t.label == label) {
+			return t.brk
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) findContinue(label string) *Block {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if t.cont == nil {
+			continue
+		}
+		if label == "" || t.label == label {
+			return t.cont
+		}
+	}
+	return nil
+}
+
+// isPanicCall reports whether the expression is a call of the predeclared
+// panic (by name — shadowing panic would be perverse enough to ignore).
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lbl := b.newBlock()
+		b.edge(b.cur, lbl)
+		b.cur = lbl
+		b.labels[s.Label.Name] = lbl
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		join := b.newBlock()
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.edge(thenEnd, join)
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		exit := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, exit)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.push(branchTarget{label: label, brk: exit, cont: cont, acceptsUnlabel: true})
+		b.cur = body
+		b.stmt(s.Body)
+		b.pop()
+		b.edge(b.cur, cont)
+		if post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, head)
+		}
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.add(s.X)
+		if s.Key != nil {
+			b.add(s.Key)
+		}
+		if s.Value != nil {
+			b.add(s.Value)
+		}
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, exit)
+		b.push(branchTarget{label: label, brk: exit, cont: head, acceptsUnlabel: true})
+		b.cur = body
+		b.stmt(s.Body)
+		b.pop()
+		b.edge(b.cur, head)
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(label, s.Body.List, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			cc := c.(*ast.CaseClause)
+			var hdr []ast.Node
+			for _, e := range cc.List {
+				hdr = append(hdr, e)
+			}
+			return hdr, cc.Body, cc.List == nil
+		}, true)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(label, s.Body.List, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			cc := c.(*ast.CaseClause)
+			return nil, cc.Body, cc.List == nil
+		}, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.switchClauses(label, s.Body.List, func(c ast.Stmt) ([]ast.Node, []ast.Stmt, bool) {
+			cc := c.(*ast.CommClause)
+			var hdr []ast.Node
+			if cc.Comm != nil {
+				hdr = append(hdr, cc.Comm)
+			}
+			return hdr, cc.Body, false // select blocks; no implicit fallthrough to exit
+		}, false)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.exits = append(b.exits, b.cur)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findBreak(label); t != nil {
+				b.edge(b.cur, t)
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if t := b.findContinue(label); t != nil {
+				b.edge(b.cur, t)
+			}
+			b.terminate()
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+			b.terminate()
+		case token.FALLTHROUGH:
+			// Handled by switchClauses via fallthrough edges; ending the
+			// block here would sever the pre-wired edge, so keep it.
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.terminate() // doomed: no successors
+		}
+
+	default:
+		// Assignments, declarations, sends, inc/dec, defer, go, empty.
+		b.add(s)
+	}
+}
+
+// switchClauses wires the clause blocks of a switch/type-switch/select:
+// every clause body is entered from the current (header) block, ends at a
+// shared exit, and — for expression switches — may fall through to the
+// next clause's body.
+func (b *cfgBuilder) switchClauses(label string, clauses []ast.Stmt,
+	split func(ast.Stmt) (hdr []ast.Node, body []ast.Stmt, isDefault bool),
+	allowFallthrough bool) {
+
+	head := b.cur
+	exit := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+	}
+	hasDefault := false
+	for i, c := range clauses {
+		hdr, body, isDef := split(c)
+		if isDef {
+			hasDefault = true
+		}
+		blk := blocks[i]
+		blk.Nodes = append(blk.Nodes, hdr...)
+		b.push(branchTarget{label: label, brk: exit, acceptsUnlabel: true})
+		b.cur = blk
+		if allowFallthrough && i+1 < len(clauses) && endsInFallthrough(body) {
+			b.edge(blk, blocks[i+1]) // pre-wire; body statements may move cur
+		}
+		b.stmtList(body)
+		b.pop()
+		if allowFallthrough && i+1 < len(clauses) && endsInFallthrough(body) {
+			b.edge(b.cur, blocks[i+1])
+		} else {
+			b.edge(b.cur, exit)
+		}
+	}
+	if !hasDefault && len(clauses) > 0 {
+		b.edge(head, exit)
+	}
+	if len(clauses) == 0 {
+		b.edge(head, exit)
+	}
+	b.cur = exit
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *cfgBuilder) resolveGotos() {
+	for _, g := range b.gotos {
+		if t, ok := b.labels[g.label]; ok {
+			b.edge(g.from, t)
+		}
+	}
+}
+
+// markExitReachability runs a reverse BFS from the exit blocks, setting
+// reachesExit on every block with a panic-free path out.
+func (b *cfgBuilder) markExitReachability() {
+	preds := make([][]*Block, len(b.g.Blocks))
+	for _, blk := range b.g.Blocks {
+		for _, s := range blk.Succs {
+			preds[s.Index] = append(preds[s.Index], blk)
+		}
+	}
+	var queue []*Block
+	for _, e := range b.exits {
+		if !e.reachesExit {
+			e.reachesExit = true
+			queue = append(queue, e)
+		}
+	}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		for _, p := range preds[blk.Index] {
+			if !p.reachesExit {
+				p.reachesExit = true
+				queue = append(queue, p)
+			}
+		}
+	}
+}

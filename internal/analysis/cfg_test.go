@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// cfgFor parses src (function declarations, no package clause) and builds
+// the CFG of the named function.
+func cfgFor(t *testing.T, src, name string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// blockCalling finds the unique block containing a call to the named
+// function.
+func blockCalling(t *testing.T, g *CFG, callee string) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			hit := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == callee {
+						hit = true
+					}
+				}
+				return true
+			})
+			if hit {
+				if found != nil && found != b {
+					t.Fatalf("call to %s appears in two blocks", callee)
+				}
+				found = b
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block calls %s", callee)
+	}
+	return found
+}
+
+// TestCFGPanicGuardIsDoomed: the then-block of a panic guard cannot reach
+// the exit, while the code after the guard can — the flow fact hotalloc
+// uses to exempt panic-message formatting.
+func TestCFGPanicGuardIsDoomed(t *testing.T) {
+	g := cfgFor(t, `
+func f(v int) int {
+	if v < 0 {
+		panic(boom(v))
+	}
+	return ok(v)
+}`, "f")
+	if b := blockCalling(t, g, "boom"); g.ReachesExit(b) {
+		t.Error("panic-guard block reaches exit; should be doomed")
+	}
+	if b := blockCalling(t, g, "ok"); !g.ReachesExit(b) {
+		t.Error("post-guard block does not reach exit")
+	}
+}
+
+// TestCFGInfiniteLoopPanicIsDoomed: a panic inside an escape-free loop is
+// doomed even though the loop head has a back edge.
+func TestCFGInfiniteLoopPanicIsDoomed(t *testing.T) {
+	g := cfgFor(t, `
+func f() {
+	for {
+		panic(boom())
+	}
+}`, "f")
+	if b := blockCalling(t, g, "boom"); g.ReachesExit(b) {
+		t.Error("panic inside infinite loop reaches exit; should be doomed")
+	}
+}
+
+// TestCFGBranchesRejoin: break and continue route control to the right
+// targets; everything in a normal loop reaches the exit.
+func TestCFGBranchesRejoin(t *testing.T) {
+	g := cfgFor(t, `
+func f(vs []int) int {
+	s := 0
+	for _, v := range vs {
+		if v < 0 {
+			continue
+		}
+		if v > 100 {
+			break
+		}
+		s += keep(v)
+	}
+	return done(s)
+}`, "f")
+	for _, callee := range []string{"keep", "done"} {
+		if b := blockCalling(t, g, callee); !g.ReachesExit(b) {
+			t.Errorf("block calling %s does not reach exit", callee)
+		}
+	}
+}
+
+// TestCFGSwitchFallthrough: a fallthrough clause reaches the exit through
+// the next clause's body; a panicking default stays doomed.
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := cfgFor(t, `
+func f(v int) int {
+	switch v {
+	case 0:
+		first(v)
+		fallthrough
+	case 1:
+		return second(v)
+	default:
+		panic(boom(v))
+	}
+}`, "f")
+	if b := blockCalling(t, g, "first"); !g.ReachesExit(b) {
+		t.Error("fallthrough clause does not reach exit")
+	}
+	if b := blockCalling(t, g, "second"); !g.ReachesExit(b) {
+		t.Error("return clause does not reach exit")
+	}
+	if b := blockCalling(t, g, "boom"); g.ReachesExit(b) {
+		t.Error("panicking default clause reaches exit; should be doomed")
+	}
+}
+
+// TestCFGGotoLoop: a goto back edge is resolved, so the loop body keeps
+// reaching the exit.
+func TestCFGGotoLoop(t *testing.T) {
+	g := cfgFor(t, `
+func f(v int) int {
+loop:
+	v = step(v)
+	if v > 0 {
+		goto loop
+	}
+	return v
+}`, "f")
+	if b := blockCalling(t, g, "step"); !g.ReachesExit(b) {
+		t.Error("goto loop body does not reach exit")
+	}
+}
+
+// TestCFGNodesAppearOnce: every statement and control-header expression
+// of the function body lands in exactly one block, so a per-block scan
+// visits each allocation site once.
+func TestCFGNodesAppearOnce(t *testing.T) {
+	g := cfgFor(t, `
+func f(v int) int {
+	if v > 0 {
+		v++
+	} else {
+		v--
+	}
+	for i := 0; i < v; i++ {
+		v += i
+	}
+	switch v {
+	case 1:
+		v = 2
+	}
+	return v
+}`, "f")
+	seen := map[ast.Node]bool{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if seen[n] {
+				t.Errorf("node %T appears in more than one block", n)
+			}
+			seen[n] = true
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("CFG carries no nodes")
+	}
+}
+
+// TestCFGSelectClausesBlock: select has no implicit exit edge through the
+// header, but each comm clause reaches the exit through its body.
+func TestCFGSelectClausesBlock(t *testing.T) {
+	g := cfgFor(t, `
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return got(v)
+	case <-b:
+		panic(boom())
+	}
+}`, "f")
+	if b := blockCalling(t, g, "got"); !g.ReachesExit(b) {
+		t.Error("select clause does not reach exit")
+	}
+	if b := blockCalling(t, g, "boom"); g.ReachesExit(b) {
+		t.Error("panicking select clause reaches exit; should be doomed")
+	}
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The flow-aware analyzers read two repo-specific annotation directives
+// (grammar documented in DESIGN.md §7):
+//
+//	//knl:hotpath [note]          on a function declaration's doc comment:
+//	                              the function is an allocation-free hot
+//	                              path; hotalloc walks the call graph from
+//	                              it. Trailing text is free-form.
+//
+//	//knl:nostate <reason>        on a struct field's doc or trailing
+//	                              comment, inside a statecov-tracked
+//	                              struct: the field is deliberately outside
+//	                              the digest/reset state contract. The
+//	                              reason is mandatory; a bare //knl:nostate
+//	                              is reported and NOT honored.
+
+const (
+	hotpathDirective = "//knl:hotpath"
+	nostateDirective = "//knl:nostate"
+)
+
+// findDirective scans the comment groups for a line-comment directive
+// with the given prefix ("//knl:hotpath" or "//knl:nostate"). It returns
+// the directive comment and the trailing argument text, if found.
+func findDirective(prefix string, groups ...*ast.CommentGroup) (c *ast.Comment, arg string, ok bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, cm := range g.List {
+			text := cm.Text
+			if text == prefix {
+				return cm, "", true
+			}
+			if rest, found := strings.CutPrefix(text, prefix+" "); found {
+				return cm, strings.TrimSpace(rest), true
+			}
+		}
+	}
+	return nil, "", false
+}
+
+// isHotPathRoot reports whether the function declaration carries the
+// //knl:hotpath annotation.
+func isHotPathRoot(fd *ast.FuncDecl) bool {
+	_, _, ok := findDirective(hotpathDirective, fd.Doc)
+	return ok
+}

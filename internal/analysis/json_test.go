@@ -46,6 +46,16 @@ func TestJSONRoundTrip(t *testing.T) {
 		}
 	}
 
+	// Run dedupes identical findings, so the wire form must never carry
+	// two identical (file,line,col,analyzer,message) objects.
+	seen := map[JSONFinding]bool{}
+	for _, f := range back {
+		if seen[f] {
+			t.Errorf("duplicate finding in -json output: %+v", f)
+		}
+		seen[f] = true
+	}
+
 	// Field names are the schema; a rename would break consumers.
 	var raw []map[string]interface{}
 	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {

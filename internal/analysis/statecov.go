@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StateCov verifies the digest/reset state contract of the simulator: for
+// every field of the state-bearing structs in Config.StateCovTypes, some
+// function on the call-graph closure of the digest roots must read the
+// field (otherwise StateDigest is blind to it and determinism checks
+// cannot see it corrupt), and some function on the closure of the reset
+// roots must reference it (otherwise a pooled machine leaks it from the
+// previous experiment). Fields that are genuinely not simulated state —
+// wiring, interned name tables, free lists, scratch buffers — carry a
+// justified //knl:nostate <reason> on their declaration.
+//
+// The analyzer is deliberately conservative in what counts as coverage: a
+// field is covered by a side as soon as any reachable function mentions
+// it, whether directly in the root or three calls down (lineTable.reset
+// covering lineTable's fields through Machine.Reset). What it cannot be
+// fooled by is dead code — coverage only counts inside functions the call
+// graph actually reaches from the configured roots.
+//
+// When none of the configured digest or reset roots resolve in the loaded
+// package set (a knl-lint run over a package subset that does not include
+// the machine), the analyzer skips silently rather than flag every field.
+var StateCov = &Analyzer{
+	Name: "statecov",
+	Doc:  "every field of the state-bearing simulator structs must be reachable from both the StateDigest fold and the Reset path, or carry //knl:nostate <reason>",
+	RunProgram: func(pass *ProgramPass) {
+		runStateCov(pass)
+	},
+}
+
+// trackedField is one field of a statecov-tracked struct.
+type trackedField struct {
+	obj   *types.Var
+	label string // "Type.field" for messages
+	pos   token.Pos
+	// nostate directive state: present, its reason, and its position.
+	nostate       bool
+	nostateReason string
+	nostatePos    token.Pos
+}
+
+func runStateCov(pass *ProgramPass) {
+	tracked := map[string]bool{}
+	for _, t := range pass.Cfg.StateCovTypes {
+		tracked[t] = true
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	digestRoots, digestName := resolveRoots(pass.Graph, pass.Cfg.StateCovDigestRoots)
+	resetRoots, resetName := resolveRoots(pass.Graph, pass.Cfg.StateCovResetRoots)
+	if len(digestRoots) == 0 && len(resetRoots) == 0 {
+		return // partial run without the machine package: nothing to check
+	}
+
+	digestRefs := fieldRefs(pass.Graph.Reachable(digestRoots))
+	resetRefs := fieldRefs(pass.Graph.Reachable(resetRoots))
+
+	// Walk type declarations in load order (packages as configured, files
+	// sorted by the loader) so findings come out deterministic.
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if !tracked[pkg.Path+"."+ts.Name.Name] {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, f := range collectFields(pass, pkg, ts.Name, st) {
+						checkField(pass, f, len(digestRoots) > 0, digestRefs, digestName,
+							len(resetRoots) > 0, resetRefs, resetName)
+					}
+				}
+			}
+		}
+	}
+}
+
+// resolveRoots maps configured FullName roots to call-graph nodes,
+// dropping names that do not resolve in the loaded set. The second result
+// is a display name for messages (the resolved roots, comma-joined).
+func resolveRoots(g *CallGraph, names []string) ([]*CallNode, string) {
+	var nodes []*CallNode
+	var shown []string
+	for _, name := range names {
+		if n := g.LookupName(name); n != nil {
+			nodes = append(nodes, n)
+			shown = append(shown, name)
+		}
+	}
+	return nodes, strings.Join(shown, ", ")
+}
+
+// fieldRefs collects every struct-field object referenced by any function
+// in the closure.
+func fieldRefs(closure map[*CallNode]*CallNode) map[types.Object]bool {
+	refs := map[types.Object]bool{}
+	for n := range closure {
+		if n.Decl == nil || n.Decl.Body == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && v.IsField() {
+					refs[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return refs
+}
+
+// collectFields flattens the struct's AST field list into trackedFields,
+// pairing each with its types.Var (same object the type-checker records
+// at every use site, because all packages share one loader) and any
+// //knl:nostate directive on its doc or trailing comment.
+func collectFields(pass *ProgramPass, pkg *Package, typeName *ast.Ident, st *ast.StructType) []trackedField {
+	obj := pkg.Info.Defs[typeName]
+	if obj == nil {
+		return nil
+	}
+	stype, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []trackedField
+	idx := 0
+	for _, f := range st.Fields.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1 // embedded field
+		}
+		dir, reason, hasDir := findDirective(nostateDirective, f.Doc, f.Comment)
+		for i := 0; i < n; i++ {
+			if idx >= stype.NumFields() {
+				return out
+			}
+			v := stype.Field(idx)
+			idx++
+			pos := f.Type.Pos()
+			if i < len(f.Names) {
+				pos = f.Names[i].Pos()
+			}
+			tf := trackedField{
+				obj:   v,
+				label: typeName.Name + "." + v.Name(),
+				pos:   pos,
+			}
+			if hasDir {
+				tf.nostate = true
+				tf.nostateReason = reason
+				tf.nostatePos = dir.Pos()
+			}
+			out = append(out, tf)
+		}
+	}
+	return out
+}
+
+// checkField reports the coverage gaps of one field. A //knl:nostate with
+// a reason exempts the field entirely; one without a reason is itself
+// reported and exempts nothing — an unexplained opt-out is exactly the
+// silent contract erosion statecov exists to forbid.
+func checkField(pass *ProgramPass, f trackedField,
+	haveDigest bool, digestRefs map[types.Object]bool, digestName string,
+	haveReset bool, resetRefs map[types.Object]bool, resetName string) {
+
+	if f.nostate {
+		if f.nostateReason != "" {
+			return
+		}
+		pass.Reportf(f.nostatePos, "knl:nostate on %s needs a reason", f.label)
+	}
+	if haveDigest && !digestRefs[f.obj] {
+		pass.Reportf(f.pos, "field %s is not folded by the digest path from %s; add it to the fold or annotate //knl:nostate <reason>",
+			f.label, digestName)
+	}
+	if haveReset && !resetRefs[f.obj] {
+		pass.Reportf(f.pos, "field %s is not touched by the reset path from %s; reset it or annotate //knl:nostate <reason>",
+			f.label, resetName)
+	}
+}

@@ -1,0 +1,88 @@
+// Package hotpkg exercises the hot-path allocation analyzer: one
+// //knl:hotpath root whose call-graph closure — including an interface
+// dispatch — contains every flagged construct, one doomed panic guard
+// that must stay exempt, and one cold function free to allocate.
+package hotpkg
+
+import "fmt"
+
+// Any exists to exercise the interface-conversion rule.
+type Any interface{}
+
+// Sink is dispatched through an interface on the hot path; CHA must
+// resolve the call to every implementation.
+type Sink interface {
+	Put(v int)
+}
+
+// MapSink allocates in Put; reachable from Step only through the Sink
+// interface.
+type MapSink struct {
+	m map[int]int
+}
+
+func (s *MapSink) Put(v int) {
+	if s.m == nil {
+		s.m = make(map[int]int)
+	}
+	s.m[v] = v
+}
+
+// Engine owns the hot loop.
+type Engine struct {
+	buf     []int
+	log     []string
+	scratch []byte
+	sink    Sink
+	stats   map[string]int
+	tag     string
+}
+
+// Step is the per-event hot path.
+//
+//knl:hotpath one simulated event
+func (e *Engine) Step(v int) {
+	if v < 0 {
+		// Doomed block: every path out panics, so the fmt.Sprintf is not
+		// a hot-path allocation.
+		panic(fmt.Sprintf("hotpkg: negative event %d", v))
+	}
+	e.buf = append(e.buf, v) // self-append: capacity evidence, clean
+	e.helper(v)
+	e.sink.Put(v)
+}
+
+// helper is reachable from Step; each construct below allocates.
+func (e *Engine) helper(v int) {
+	p := &pair{a: v}
+	e.log = append(e.log, fmt.Sprintf("%d", p.a))
+	tmp := []int{v}
+	other := append(tmp, v)
+	f := func() int { return v }
+	e.stats["events"]++
+	e.describe(e.tag + "!")
+	box(f() + other[0])
+	_ = Any(v)
+	//lint:ignore hotalloc deliberate scratch growth, exercised by the suppression test
+	e.scratch = make([]byte, 16)
+}
+
+type pair struct{ a int }
+
+// describe is reachable but clean.
+func (e *Engine) describe(s string) {
+	e.tag = s
+}
+
+// box has an interface parameter: concrete arguments box at the call
+// site.
+func box(v interface{}) {
+	_ = v
+}
+
+// Cold is reachable from no hot-path root; its allocations are legal.
+func Cold() map[string]int {
+	counts := map[string]int{"a": 1}
+	counts["b"] = 2
+	return counts
+}

@@ -24,6 +24,10 @@ type Mapper struct {
 	ddrByCluster [][]int
 	// edcByCluster[c] lists EDC indices (0..7) usable by cluster c.
 	edcByCluster [][]int
+	// allDDR / allEDC are the full channel index lists, precomputed so the
+	// per-access placement path (Place, CacheEDC) never allocates.
+	allDDR []int
+	allEDC []int
 }
 
 // NewMapper precomputes the affinity tables for fp under cfg.
@@ -60,7 +64,18 @@ func NewMapper(fp *knl.Floorplan, cfg knl.Config) *Mapper {
 		c := m.clusterOfEDC(e)
 		m.edcByCluster[c] = append(m.edcByCluster[c], e)
 	}
+	m.allDDR = indices(knl.DDRChannels)
+	m.allEDC = indices(knl.NumEDC)
 	return m
+}
+
+// indices returns [0, 1, ..., n-1].
+func indices(n int) []int {
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return all
 }
 
 // hemisphereOfCluster maps an affinity cluster to its die hemisphere
@@ -173,23 +188,20 @@ func (m *Mapper) channelsOf(kind knl.MemKind, cluster int) []int {
 	return m.edcByCluster[cluster]
 }
 
+// allChannels returns the precomputed full channel list of the kind; the
+// caller must not modify it.
 func (m *Mapper) allChannels(kind knl.MemKind) []int {
-	n := knl.DDRChannels
 	if kind == knl.MCDRAM {
-		n = knl.NumEDC
+		return m.allEDC
 	}
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
-	}
-	return all
+	return m.allDDR
 }
 
 // ChannelsFor exposes the channel set a cluster may use (for tests and
 // reporting).
 func (m *Mapper) ChannelsFor(kind knl.MemKind, cluster int) []int {
 	if !m.cfg.Cluster.NUMAVisible() {
-		return m.allChannels(kind)
+		return append([]int(nil), m.allChannels(kind)...)
 	}
 	return append([]int(nil), m.channelsOf(kind, cluster)...)
 }

@@ -50,17 +50,22 @@ const (
 
 // lineTable is the dense per-line metadata table of one memory kind.
 type lineTable struct {
-	kind  knl.MemKind
+	//knl:nostate immutable wiring: which memory kind the table serves
+	kind knl.MemKind
+	//knl:nostate immutable base line of the kind's address range
 	base  cache.Line
 	slots []lineSlot
 	// lineBuf maps a slot index to its registered-buffer id; id 0 is the
 	// anonymous bucket for lines outside any allocation (its generation
 	// never advances, so anonymous entries are only killed per line).
 	lineBuf []int32
-	bufGen  []uint32         // buffer id -> current directory generation
-	bufLive []int32          // buffer id -> slots with a live directory entry
-	bufs    []memmode.Buffer // registered allocations; bufs[id-1]
-	synced  int              // allocator buffers registered so far
+	bufGen  []uint32 // buffer id -> current directory generation
+	//knl:nostate derived live-count bookkeeping over the folded owner/generation slots
+	bufLive []int32 // buffer id -> slots with a live directory entry
+	//knl:nostate registered-allocation mirror, resynced from the allocator
+	bufs []memmode.Buffer // registered allocations; bufs[id-1]
+	//knl:nostate allocator sync cursor for bufs
+	synced int // allocator buffers registered so far
 
 	dirLive int // live directory entries (the former len(dir))
 	words   int // slots with slotWord set (the former len(words))
@@ -126,9 +131,11 @@ func (t *lineTable) extend(n int) {
 		if c < n {
 			c = n
 		}
+		//lint:ignore hotalloc doubling growth is amortized O(1) per line; pooled machines reuse capacity and never re-enter this branch
 		slots := make([]lineSlot, n, c)
 		copy(slots, t.slots)
 		t.slots = slots
+		//lint:ignore hotalloc same amortized doubling as the slots table above
 		lineBuf := make([]int32, n, c)
 		copy(lineBuf, t.lineBuf)
 		t.lineBuf = lineBuf

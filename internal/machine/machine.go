@@ -40,17 +40,28 @@ type coreState struct {
 }
 
 // Machine is one simulated KNL under a specific configuration.
+//
+// Fields outside the digest/reset state contract carry //knl:nostate
+// with the justification; the statecov analyzer enforces that every
+// other field is reachable from both StateDigest and Reset.
 type Machine struct {
-	Env    *sim.Env
-	Cfg    knl.Config
-	FP     *knl.Floorplan
+	Env *sim.Env
+	//knl:nostate immutable configuration, fixed at construction
+	Cfg knl.Config
+	//knl:nostate immutable topology, a function of the configuration alone
+	FP *knl.Floorplan
+	//knl:nostate immutable mesh timing model with no mutable state
 	Router *mesh.Router
+	//knl:nostate quiescent between runs; its serializing effect is folded through the clock
 	Fabric *mesh.LinkFabric
+	//knl:nostate immutable placement function over the floorplan
 	Mapper *cluster.Mapper
 	Mem    *memory.System
 	Policy *memmode.Policy
-	Alloc  *memmode.Allocator
-	P      Params
+	//knl:nostate allocation registry; the line tables resync from it and fold the result
+	Alloc *memmode.Allocator
+	//knl:nostate timing parameters: configuration, not simulated state
+	P Params
 
 	tiles []*tileState
 	cores []*coreState
@@ -60,7 +71,8 @@ type Machine struct {
 	// the former dir/words/watchers maps (see linetable.go).
 	lines [2]lineTable
 
-	rng    *stats.RNG
+	rng *stats.RNG
+	//knl:nostate observer hook, cleared on Reset and never read by the protocol
 	tracer Tracer
 }
 
@@ -337,6 +349,8 @@ func (m *Machine) FlushLine(l cache.Line) {
 // whole registered allocation the directory entries die in one epoch bump
 // (generation counter) after the cached lines leave the tag arrays;
 // sub-buffer slices fall back to the per-line path.
+//
+//knl:hotpath cache-mode sweeps flush between every chunk
 func (m *Machine) FlushBuffer(b memmode.Buffer) {
 	n := b.NumLines()
 	if n == 0 {

@@ -38,6 +38,8 @@ func (s srcClass) String() string {
 // given core and returns where the data came from. It is the building block
 // of the pointer-chasing benchmarks and the first access of every stream
 // chunk.
+//
+//knl:hotpath one simulated memory access; BenchmarkLoadLineHotPath pins 0 allocs/op
 func (m *Machine) loadLine(p *sim.Proc, core int, b memmode.Buffer, l cache.Line) srcClass {
 	tile := core / knl.CoresPerTile
 	cs := m.cores[core]
@@ -143,6 +145,7 @@ func (m *Machine) forwardGrant(p *sim.Proc, reqTile, home, fwd int, st cache.Sta
 // delaying the requesting thread (the data return and the write-back travel
 // independently).
 func (m *Machine) asyncWriteBack(l cache.Line) {
+	//lint:ignore hotalloc spawning the posted-write-back process is the allocation; only dirty-forward misses take this path (BenchmarkLoadLineHotPath stays at 0 allocs/op)
 	m.Env.Go("wb", func(p *sim.Proc) { m.writeBack(p, l) })
 }
 

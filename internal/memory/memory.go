@@ -103,13 +103,19 @@ func ModeEfficiency(kind knl.MemKind, mode knl.ClusterMode) float64 {
 
 // Channel is one memory channel with its three serializing ports.
 type Channel struct {
-	Kind  knl.MemKind
+	//knl:nostate immutable wiring: which memory kind the channel serves
+	Kind knl.MemKind
+	//knl:nostate immutable channel index
 	Index int
 
+	//knl:nostate immutable device timing parameters
 	params DeviceParams
-	cmd    *sim.Resource
-	read   *sim.Resource
-	write  *sim.Resource
+	//knl:nostate port resource: quiescent at digest/Reset points, traffic is folded via the line counters
+	cmd *sim.Resource
+	//knl:nostate port resource: quiescent at digest/Reset points, traffic is folded via the line counters
+	read *sim.Resource
+	//knl:nostate port resource: quiescent at digest/Reset points, traffic is folded via the line counters
+	write *sim.Resource
 
 	linesRead    uint64
 	linesWritten uint64

@@ -8,15 +8,24 @@ package sim
 // The 1:N contention behaviour the paper measures (T_C(N) = α + β·N) emerges
 // from FIFO queueing on these resources, not from an explicit formula.
 type Resource struct {
-	env      *Env
-	name     string
+	//knl:nostate backlink to the owning environment (wiring)
+	env *Env
+	//knl:nostate immutable display name
+	name string
+	//knl:nostate immutable configuration
 	capacity int
-	inUse    int
-	waiters  []*Proc
-	// Stats
-	acquires   uint64
-	maxQueue   int
-	busyTime   Time
+	//knl:nostate zero at every quiescent digest/Reset point (Reset panics otherwise)
+	inUse int
+	//knl:nostate empty at every quiescent digest/Reset point (Reset panics otherwise)
+	waiters []*Proc
+	// Stats: acquires is folded by the machine digest; the rest feed
+	// Utilization/MaxQueue reporting only.
+	acquires uint64
+	//knl:nostate reporting statistic (MaxQueue), not observable timeline state
+	maxQueue int
+	//knl:nostate reporting statistic (Utilization), not observable timeline state
+	busyTime Time
+	//knl:nostate bookkeeping for busyTime accounting
 	lastChange Time
 }
 
