@@ -64,6 +64,29 @@ if [ "$quick" = 0 ]; then
     go test -bench=BenchmarkLoadLineHotPath -benchtime=5000x -benchmem -run '^$' ./internal/machine |
         tee /dev/stderr |
         awk '/allocs\/op/ && $(NF-1) != 0 { print "ci.sh: " $1 " allocates on the hot path (" $(NF-1) " allocs/op)" > "/dev/stderr"; bad = 1 } END { exit bad }'
+
+    # Tier 2: memo determinism gate. Two identical -cache invocations into a
+    # fresh cache directory must (a) print byte-identical results and (b) run
+    # the second entirely from the cache: its memo summary must show zero
+    # misses and zero stores, proving the simulator was never invoked.
+    step "tier-2: memo determinism gate (two -cache runs, second must not simulate)"
+    memodir=$(mktemp -d)
+    trap 'rm -rf "$memodir"' EXIT
+    go build -o "$memodir/knl-sweep" ./cmd/knl-sweep
+    "$memodir/knl-sweep" -fig 4 -quick -nojitter -converge 3 \
+        -cache -cache-dir "$memodir/cache" > "$memodir/run1.out" 2> "$memodir/run1.err"
+    "$memodir/knl-sweep" -fig 4 -quick -nojitter -converge 3 \
+        -cache -cache-dir "$memodir/cache" > "$memodir/run2.out" 2> "$memodir/run2.err"
+    if ! cmp -s "$memodir/run1.out" "$memodir/run2.out"; then
+        echo "ci.sh: cached rerun output differs from the cold run" >&2
+        diff "$memodir/run1.out" "$memodir/run2.out" >&2 || true
+        exit 1
+    fi
+    grep '^memo:' "$memodir/run2.err" >&2
+    if ! grep -q '^memo: .*misses=0 stores=0' "$memodir/run2.err"; then
+        echo "ci.sh: second -cache run invoked the simulator (expected misses=0 stores=0)" >&2
+        exit 1
+    fi
 fi
 
 echo "ci.sh: all gates passed"

@@ -20,6 +20,7 @@ import (
 	"knlcap/internal/bench"
 	"knlcap/internal/cache"
 	"knlcap/internal/knl"
+	"knlcap/internal/memo"
 	"knlcap/internal/report"
 )
 
@@ -35,6 +36,11 @@ func main() {
 	experiments := flag.Bool("experiments", false, "list the experiment registry and exit")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for independent measurement points (1 = serial; results are identical at every setting)")
+	useCache := flag.Bool("cache", false, "memoize measurement results on disk (see -cache-dir)")
+	cacheDir := flag.String("cache-dir", "results/.memocache", "directory of the result cache")
+	converge := flag.Int("converge", 0,
+		"stop deterministic measurement loops after N bit-identical passes and extrapolate (0 = exact; needs -nojitter to fire)")
+	nojitter := flag.Bool("nojitter", false, "disable the simulated timing jitter")
 	flag.Parse()
 
 	if *experiments {
@@ -50,6 +56,11 @@ func main() {
 		o.Iterations = *iterations
 	}
 	o.Parallel = *parallel
+	o.ConvergeAfter = *converge
+	o.NoJitter = *nojitter
+	mc := openMemo("knl-bench", *useCache, *cacheDir)
+	o.Memo = mc
+	defer memoReport(mc)
 
 	switch *table {
 	case 1:
@@ -64,6 +75,27 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "knl-bench: -table must be 1 or 2")
 		os.Exit(2)
+	}
+}
+
+// openMemo opens the on-disk result cache when enabled; a nil cache
+// disables memoization throughout the measurement layers.
+func openMemo(prog string, enabled bool, dir string) *memo.Cache {
+	if !enabled {
+		return nil
+	}
+	c, err := memo.New(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, prog+":", err)
+		os.Exit(2)
+	}
+	return c
+}
+
+// memoReport prints the cache traffic counters to stderr.
+func memoReport(c *memo.Cache) {
+	if c != nil {
+		fmt.Fprintln(os.Stderr, "memo:", c.Stats())
 	}
 }
 

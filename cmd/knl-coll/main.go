@@ -20,8 +20,30 @@ import (
 	"knlcap/internal/coll"
 	"knlcap/internal/core"
 	"knlcap/internal/knl"
+	"knlcap/internal/memo"
 	"knlcap/internal/report"
 )
+
+// openMemo opens the on-disk result cache when enabled; a nil cache
+// disables memoization throughout the measurement layers.
+func openMemo(prog string, enabled bool, dir string) *memo.Cache {
+	if !enabled {
+		return nil
+	}
+	c, err := memo.New(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, prog+":", err)
+		os.Exit(2)
+	}
+	return c
+}
+
+// memoReport prints the cache traffic counters to stderr.
+func memoReport(c *memo.Cache) {
+	if c != nil {
+		fmt.Fprintln(os.Stderr, "memo:", c.Stats())
+	}
+}
 
 func schedOf(s string) knl.Schedule {
 	switch s {
@@ -47,6 +69,11 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for independent measurement points (1 = serial; results are identical at every setting)")
+	useCache := flag.Bool("cache", false, "memoize measurement results on disk (see -cache-dir)")
+	cacheDir := flag.String("cache-dir", "results/.memocache", "directory of the result cache")
+	converge := flag.Int("converge", 0,
+		"stop deterministic measurement loops after N bit-identical passes and extrapolate (0 = exact; needs -nojitter to fire)")
+	nojitter := flag.Bool("nojitter", false, "disable the simulated timing jitter")
 	flag.Parse()
 
 	cfg := knl.DefaultConfig() // SNC4-flat, as in the paper's figures
@@ -57,6 +84,11 @@ func main() {
 	}
 	o.WindowNs = 1e6
 	o.Parallel = *parallel
+	o.ConvergeAfter = *converge
+	o.NoJitter = *nojitter
+	mc := openMemo("knl-coll", *useCache, *cacheDir)
+	o.Memo = mc
+	defer memoReport(mc)
 
 	if *speedups {
 		printSpeedups(cfg, model, o, schedOf(*sched))

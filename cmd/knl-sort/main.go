@@ -22,10 +22,32 @@ import (
 
 	"knlcap/internal/core"
 	"knlcap/internal/knl"
+	"knlcap/internal/memo"
 	"knlcap/internal/msort"
 	"knlcap/internal/report"
 	"knlcap/internal/stats"
 )
+
+// openMemo opens the on-disk result cache when enabled; a nil cache
+// disables memoization throughout the simulation layers.
+func openMemo(prog string, enabled bool, dir string) *memo.Cache {
+	if !enabled {
+		return nil
+	}
+	c, err := memo.New(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, prog+":", err)
+		os.Exit(2)
+	}
+	return c
+}
+
+// memoReport prints the cache traffic counters to stderr.
+func memoReport(c *memo.Cache) {
+	if c != nil {
+		fmt.Fprintln(os.Stderr, "memo:", c.Stats())
+	}
+}
 
 func main() {
 	kindFlag := flag.String("kind", "both", "buffer placement: dram | mcdram | both")
@@ -34,16 +56,21 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for independent simulation points (1 = serial; results are identical at every setting)")
+	useCache := flag.Bool("cache", false, "memoize simulation results on disk (see -cache-dir)")
+	cacheDir := flag.String("cache-dir", "results/.memocache", "directory of the result cache")
 	flag.Parse()
 
 	if *verify {
 		verifyRealSort()
 	}
 
+	mc := openMemo("knl-sort", *useCache, *cacheDir)
+	defer memoReport(mc)
+
 	cfg := knl.DefaultConfig() // SNC4-flat
 	model := core.Default()
 	fmt.Fprintln(os.Stderr, "fitting overhead model from 1 KB sorts...")
-	oh := msort.FitOverheadParallel(cfg, model, knl.DDR, nil, *parallel)
+	oh := msort.FitOverheadMemo(cfg, model, knl.DDR, nil, *parallel, mc)
 	fmt.Printf("overhead model: %.0f + %.0f*threads [ns]\n\n", oh.Alpha, oh.Beta)
 
 	kinds := []knl.MemKind{knl.DDR, knl.MCDRAM}
@@ -73,7 +100,7 @@ func main() {
 	for _, kind := range kinds {
 		for _, panel := range panels {
 			fmt.Fprintf(os.Stderr, "panel %s on %v...\n", panel.label, kind)
-			pts := msort.Figure10Parallel(cfg, model, oh, panel.lines, kind, threadCounts, *parallel)
+			pts := msort.Figure10Memo(cfg, model, oh, panel.lines, kind, threadCounts, *parallel, mc)
 			t := &report.Table{
 				Title: fmt.Sprintf("Figure 10: sorting %s of integers (%v, SNC4-flat, compact) [ns]",
 					panel.label, kind),

@@ -19,6 +19,7 @@ import (
 	"knlcap/internal/bench"
 	"knlcap/internal/cache"
 	"knlcap/internal/knl"
+	"knlcap/internal/memo"
 	"knlcap/internal/report"
 )
 
@@ -29,6 +30,11 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for independent measurement points (1 = serial; results are identical at every setting)")
+	useCache := flag.Bool("cache", false, "memoize measurement results on disk (see -cache-dir)")
+	cacheDir := flag.String("cache-dir", "results/.memocache", "directory of the result cache")
+	converge := flag.Int("converge", 0,
+		"stop deterministic measurement loops after N bit-identical passes and extrapolate (0 = exact; needs -nojitter to fire)")
+	nojitter := flag.Bool("nojitter", false, "disable the simulated timing jitter")
 	flag.Parse()
 
 	o := bench.DefaultOptions()
@@ -36,6 +42,11 @@ func main() {
 		o = o.Quick()
 	}
 	o.Parallel = *parallel
+	o.ConvergeAfter = *converge
+	o.NoJitter = *nojitter
+	mc := openMemo("knl-sweep", *useCache, *cacheDir)
+	o.Memo = mc
+	defer memoReport(mc)
 
 	var t *report.Table
 	var plot *report.Plot
@@ -62,6 +73,27 @@ func main() {
 	if plot != nil {
 		fmt.Println()
 		plot.Write(os.Stdout)
+	}
+}
+
+// openMemo opens the on-disk result cache when enabled; a nil cache
+// disables memoization throughout the measurement layers.
+func openMemo(prog string, enabled bool, dir string) *memo.Cache {
+	if !enabled {
+		return nil
+	}
+	c, err := memo.New(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, prog+":", err)
+		os.Exit(2)
+	}
+	return c
+}
+
+// memoReport prints the cache traffic counters to stderr.
+func memoReport(c *memo.Cache) {
+	if c != nil {
+		fmt.Fprintln(os.Stderr, "memo:", c.Stats())
 	}
 }
 

@@ -25,26 +25,30 @@ type CacheBandwidths struct {
 // message of `lines` lines held by core `owner` in state st into a local
 // buffer, re-priming between iterations.
 func copyOnce(cfg knl.Config, o Options, owner int, st cache.State, lines int, read bool) float64 {
-	m := machine.New(cfg)
+	m := o.acquire(cfg)
 	src := m.Alloc.MustAlloc(knl.DDR, 0, int64(lines)*knl.LineSize)
 	dst := m.Alloc.MustAlloc(knl.DDR, 0, int64(lines)*knl.LineSize)
-	var vals []float64
+	vals := make([]float64, 0, o.Iterations)
+	bytes := float64(lines * knl.LineSize)
 	m.Spawn(knl.Place{Tile: 0, Core: 0}, func(th *machine.Thread) {
-		for it := 0; it < o.Iterations; it++ {
-			m.Prime(src, owner, st)
-			m.Prime(dst, 0, cache.Modified)
-			start := th.Now()
-			if read {
-				th.ReadStream(src, true)
-			} else {
-				th.CopyStream(dst, src, false)
-			}
-			vals = append(vals, float64(lines*knl.LineSize)/(th.Now()-start))
-		}
+		runConverged(th, o.ConvergeAfter, o.Iterations,
+			func() {
+				m.Prime(src, owner, st)
+				m.Prime(dst, 0, cache.Modified)
+			},
+			func() {
+				if read {
+					th.ReadStream(src, true)
+				} else {
+					th.CopyStream(dst, src, false)
+				}
+			},
+			func(elapsed float64) { vals = append(vals, bytes/elapsed) })
 	})
 	if _, err := m.Run(); err != nil {
 		panic(err)
 	}
+	o.release(m)
 	return stats.Median(vals)
 }
 
@@ -69,10 +73,12 @@ func MeasureCacheBandwidths(cfg knl.Config, o Options, sizes []int) CacheBandwid
 		{1, cache.Exclusive, false},           // CopyTileE
 		{remoteOwner, cache.Exclusive, false}, // CopyRemote
 	}
-	vals := exp.Run(o.Parallel, len(rows)*len(sizes), func(i int) float64 {
-		r := rows[i/len(sizes)]
-		return copyOnce(cfg, o, r.owner, r.st, sizes[i%len(sizes)], r.read)
-	})
+	key := o.KeyFor("table1-bandwidth", cfg).Ints(sizes).Key()
+	vals, _ := exp.RunMemo(exp.Config{Parallel: o.Parallel}, o.Memo, key,
+		len(rows)*len(sizes), func(i int) float64 {
+			r := rows[i/len(sizes)]
+			return copyOnce(cfg, o, r.owner, r.st, sizes[i%len(sizes)], r.read)
+		})
 	best := make([]float64, len(rows))
 	for i, v := range vals {
 		if row := i / len(sizes); v > best[row] {
@@ -148,14 +154,17 @@ func MeasureCopyBySize(cfg knl.Config, o Options, sizesBytes []int) []SizePoint 
 	placements := []Placement{SameTile, SameQuadrant, RemoteQuadrant}
 	states := []cache.State{cache.Modified, cache.Exclusive}
 	perPl := len(states) * len(sizesBytes)
-	return exp.Run(o.Parallel, len(placements)*perPl, func(i int) SizePoint {
-		pl := placements[i/perPl]
-		st := states[(i%perPl)/len(sizesBytes)]
-		lines := sizesBytes[i%len(sizesBytes)] / knl.LineSize
-		if lines < 1 {
-			lines = 1
-		}
-		gbs := copyOnce(cfg, o, ownerForPlacement(cfg, pl), st, lines, false)
-		return SizePoint{Placement: pl, State: st, Bytes: lines * knl.LineSize, GBs: gbs}
-	})
+	key := o.KeyFor("fig5-copy-by-size", cfg).Ints(sizesBytes).Key()
+	pts, _ := exp.RunMemo(exp.Config{Parallel: o.Parallel}, o.Memo, key,
+		len(placements)*perPl, func(i int) SizePoint {
+			pl := placements[i/perPl]
+			st := states[(i%perPl)/len(sizesBytes)]
+			lines := sizesBytes[i%len(sizesBytes)] / knl.LineSize
+			if lines < 1 {
+				lines = 1
+			}
+			gbs := copyOnce(cfg, o, ownerForPlacement(cfg, pl), st, lines, false)
+			return SizePoint{Placement: pl, State: st, Bytes: lines * knl.LineSize, GBs: gbs}
+		})
+	return pts
 }

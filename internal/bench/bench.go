@@ -14,6 +14,7 @@ import (
 	"knlcap/internal/exp"
 	"knlcap/internal/knl"
 	"knlcap/internal/machine"
+	"knlcap/internal/memo"
 	"knlcap/internal/stats"
 )
 
@@ -51,6 +52,29 @@ type Options struct {
 	// bit-identical at every setting.
 	Parallel int
 
+	// ConvergeAfter, when > 0, lets the single-threaded measurement loops
+	// (pointer chases and per-iteration copy/multiline kernels) stop early
+	// once ConvergeAfter consecutive passes are bit-identical — both in
+	// reported value and in the underlying per-access wait profile — and
+	// extrapolate the remaining passes by replaying that profile on a
+	// virtual clock. The extrapolation reproduces the simulator's exact
+	// float64 arithmetic, so results are bit-identical to ConvergeAfter=0
+	// (the exact legacy path); a dedicated A/B test asserts it. With
+	// jittered machines (the default) passes never repeat and the gate
+	// simply never fires; combine with NoJitter to benefit. Windowed
+	// multi-threaded kernels (contention, congestion, STREAM, collectives)
+	// ignore the option: their iterations legitimately differ.
+	ConvergeAfter int
+	// NoJitter builds the measurement machines with JitterFrac = 0, making
+	// passes deterministic enough for ConvergeAfter to fire. Medians move
+	// to the jitter-free protocol sums; distribution widths (CIs, Fig. 4
+	// spread) collapse, so keep jitter on when those matter.
+	NoJitter bool
+	// Memo, when non-nil, caches sweep results content-addressed by the
+	// full measurement input (machine parameters, seed, workload, options).
+	// A nil cache means every sweep simulates.
+	Memo *memo.Cache
+
 	// pool, when set, recycles machines across the measurement points of a
 	// sweep. The sweep drivers install one per worker (exp.RunPooled), so a
 	// pool is never shared between concurrent points; by the Machine.Reset
@@ -58,13 +82,39 @@ type Options struct {
 	pool *exp.MachinePool
 }
 
+// params returns the protocol constants the options measure under:
+// the calibrated defaults, with jitter disabled when NoJitter is set.
+func (o Options) params() machine.Params {
+	p := machine.DefaultParams()
+	if o.NoJitter {
+		p.JitterFrac = 0
+	}
+	return p
+}
+
+// KeyFor starts a memo key for one sweep of this benchmark configuration:
+// the workload identifier, the machine configuration and effective protocol
+// constants, and every Options field that changes measured values. Parallel
+// and ConvergeAfter are deliberately excluded — results are proven
+// bit-identical across their settings (see the equivalence tests), so runs
+// at different worker counts or convergence gates share cache entries.
+// NoJitter needs no separate fold: it acts through params().JitterFrac.
+func (o Options) KeyFor(workload string, cfg knl.Config) *memo.KeyWriter {
+	w := memo.NewKey(workload)
+	w = cfg.FoldKey(w)
+	w = o.params().FoldKey(w)
+	return w.
+		Int(o.Averages).Int(o.Passes).Int(o.ChaseLen).Int(o.Iterations).
+		Float(o.WindowNs).Uint(o.Seed).Int(o.StreamLines).Int(o.BuffersPerThread)
+}
+
 // acquire hands out the point's machine for cfg — recycled when a sweep
 // installed a pool, freshly built otherwise.
 func (o Options) acquire(cfg knl.Config) *machine.Machine {
 	if o.pool == nil {
-		return machine.New(cfg)
+		return machine.NewWithParams(cfg, o.params())
 	}
-	return o.pool.Get(cfg, machine.DefaultParams(), cfg.YieldSeed)
+	return o.pool.Get(cfg, o.params(), cfg.YieldSeed)
 }
 
 // release returns a machine taken from acquire once its point is done.

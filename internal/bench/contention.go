@@ -31,9 +31,10 @@ func MeasureContention(cfg knl.Config, o Options, ns []int) ContentionResult {
 		ns = []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 63}
 	}
 	res := ContentionResult{Config: cfg, Ns: ns}
-	res.Medians = exp.Run(o.Parallel, len(ns), func(i int) float64 {
+	key := o.KeyFor("table1-contention", cfg).Ints(ns).Key()
+	res.Medians, _ = exp.RunMemo(exp.Config{Parallel: o.Parallel}, o.Memo, key, len(ns), func(i int) float64 {
 		n := ns[i]
-		m := machine.New(cfg)
+		m := o.acquire(cfg)
 		shared := m.Alloc.MustAlloc(knl.DDR, 0, knl.LineSize)
 		// Accessors start at core 2 (skip the owner tile).
 		all := placesFor(knl.FillTiles, knl.NumCores)
@@ -55,6 +56,7 @@ func MeasureContention(cfg knl.Config, o Options, ns []int) ContentionResult {
 			th.Load(shared, 0)
 			th.Store(locals[rank], 0)
 		})
+		o.release(m)
 		return stats.Median(maxes)
 	})
 	xs := make([]float64, len(ns))
@@ -90,7 +92,7 @@ func MeasureCongestion(cfg knl.Config, o Options, pairs int) CongestionResult {
 		pairs = 12
 	}
 	run := func(numPairs int) (float64, float64) {
-		m := machine.New(cfg)
+		m := o.acquire(cfg)
 		type pair struct {
 			a, b knl.Place
 			buf  memmode.Buffer
@@ -130,18 +132,22 @@ func MeasureCongestion(cfg knl.Config, o Options, pairs int) CongestionResult {
 		if _, err := m.Run(); err != nil {
 			panic(err)
 		}
-		return stats.Median(medians), m.Fabric.Utilization()
+		med, util := stats.Median(medians), m.Fabric.Utilization()
+		o.release(m)
+		return med, util
 	}
-	type pt struct{ med, util float64 }
+	type pt struct{ Med, Util float64 }
 	numPairs := []int{1, pairs}
-	res := exp.Run(o.Parallel, len(numPairs), func(i int) pt {
-		med, util := run(numPairs[i])
-		return pt{med, util}
-	})
-	single, many := res[0].med, res[1].med
-	maxUtil := res[0].util
-	if res[1].util > maxUtil {
-		maxUtil = res[1].util
+	key := o.KeyFor("table1-congestion", cfg).Int(pairs).Key()
+	res, _ := exp.RunMemo(exp.Config{Parallel: o.Parallel}, o.Memo, key,
+		len(numPairs), func(i int) pt {
+			med, util := run(numPairs[i])
+			return pt{med, util}
+		})
+	single, many := res[0].Med, res[1].Med
+	maxUtil := res[0].Util
+	if res[1].Util > maxUtil {
+		maxUtil = res[1].Util
 	}
 	return CongestionResult{
 		Config:             cfg,

@@ -6,6 +6,7 @@ import (
 	"knlcap/internal/knl"
 	"knlcap/internal/machine"
 	"knlcap/internal/memmode"
+	"knlcap/internal/memo"
 	"knlcap/internal/stats"
 )
 
@@ -13,26 +14,42 @@ import (
 // the given core: Averages averages, each of Passes passes of ChaseLen
 // dependent accesses over the buffer, re-establishing the cache state with
 // prime before every pass. It returns the per-access latency sample.
+//
+// The sample slice and the per-pass permutation are allocated once up
+// front; the measurement loops themselves allocate nothing (PermInto
+// refills the scratch permutation in place).
 func chase(m *machine.Machine, core int, b memmode.Buffer, o Options,
 	prime func()) Sample {
 	rng := stats.NewRNG(o.Seed ^ 0xc1a5e)
 	nl := b.NumLines()
-	var avgs []float64
-	m.Spawn(knl.Place{Tile: core / knl.CoresPerTile, Core: core}, func(th *machine.Thread) {
-		for a := 0; a < o.Averages; a++ {
-			var total float64
-			for p := 0; p < o.Passes; p++ {
-				prime()
-				perm := rng.Perm(nl)
-				start := th.Now()
-				for i := 0; i < o.ChaseLen; i++ {
-					th.Load(b, perm[i%nl])
+	avgs := make([]float64, 0, o.Averages)
+	perm := make([]int, nl)
+	place := knl.Place{Tile: core / knl.CoresPerTile, Core: core}
+	if k := o.ConvergeAfter; k > 0 && o.ChaseLen%nl == 0 {
+		// Gated path: exact simulation until k consecutive passes agree,
+		// replayed extrapolation after (see converge.go). The gate needs
+		// every line visited equally often per pass, i.e. ChaseLen a
+		// multiple of the line count; otherwise the legacy loop runs.
+		m.Spawn(place, func(th *machine.Thread) {
+			chaseConverged(th, b, o, prime, rng, perm, &avgs, k)
+		})
+	} else {
+		m.Spawn(place, func(th *machine.Thread) {
+			for a := 0; a < o.Averages; a++ {
+				var total float64
+				for p := 0; p < o.Passes; p++ {
+					prime()
+					rng.PermInto(perm)
+					start := th.Now()
+					for i := 0; i < o.ChaseLen; i++ {
+						th.Load(b, perm[i%nl])
+					}
+					total += (th.Now() - start) / float64(o.ChaseLen)
 				}
-				total += (th.Now() - start) / float64(o.ChaseLen)
+				avgs = append(avgs, total/float64(o.Passes))
 			}
-			avgs = append(avgs, total/float64(o.Passes))
-		}
-	})
+		})
+	}
 	if _, err := m.Run(); err != nil {
 		panic(err)
 	}
@@ -89,7 +106,8 @@ func MeasureCacheLatencies(cfg knl.Config, o Options, remoteTargets int) CacheLa
 			pt{owner, cache.Shared},
 			pt{owner, cache.Forward})
 	}
-	meds, _ := exp.RunPooled(exp.Config{Parallel: o.Parallel}, len(pts),
+	key := o.KeyFor("table1-latency", cfg).Int(remoteTargets).Key()
+	meds, _ := exp.RunPooledMemo(exp.Config{Parallel: o.Parallel}, o.Memo, key, len(pts),
 		newWorkerPool, func(pool *exp.MachinePool, i int) float64 {
 			po := o
 			po.pool = pool
@@ -133,7 +151,11 @@ type PerCoreLatency struct {
 // memory).
 func MeasurePerCoreLatencies(cfg knl.Config, o Options, states []cache.State) []PerCoreLatency {
 	const owners = knl.NumCores - 1
-	pts, _ := exp.RunPooled(exp.Config{Parallel: o.Parallel}, len(states)*owners,
+	kw := o.KeyFor("fig4-percore", cfg).Int(len(states))
+	for _, st := range states {
+		kw = kw.Int(int(st))
+	}
+	pts, _ := exp.RunPooledMemo(exp.Config{Parallel: o.Parallel}, o.Memo, kw.Key(), len(states)*owners,
 		newWorkerPool, func(pool *exp.MachinePool, i int) PerCoreLatency {
 			po := o
 			po.pool = pool
@@ -166,22 +188,28 @@ type MemLatencies struct {
 // pointer chasing against DRAM and MCDRAM (flat mode), or against the
 // MCDRAM side cache mix (cache mode).
 func MeasureMemLatencies(cfg knl.Config, o Options) MemLatencies {
+	key := o.KeyFor("table2-latency", cfg).Key()
+	if v, ok := memo.Lookup[MemLatencies](o.Memo, key); ok {
+		return v
+	}
 	out := MemLatencies{Config: cfg}
 	measure := func(kind knl.MemKind, affinity int) float64 {
-		m := machine.New(cfg)
+		m := o.acquire(cfg)
 		b := m.Alloc.MustAlloc(kind, affinity, int64(o.ChaseLen)*knl.LineSize)
 		prime := func() { m.FlushBuffer(b) }
-		return chase(m, 0, b, o, prime).Median
+		med := chase(m, 0, b, o, prime).Median
+		o.release(m)
+		return med
 	}
 	if cfg.Memory == knl.CacheMode {
 		// Working set twice the side cache, randomly visited: the median
 		// reflects the hit/miss mix.
-		m := machine.New(cfg)
+		m := o.acquire(cfg)
 		b := m.Alloc.MustAlloc(knl.DDR, 0, 2*cfg.MCDRAMCacheBytes())
 		prime := func() {} // keep the side cache warm; flush only L1/L2
 		rng := stats.NewRNG(o.Seed)
 		nl := b.NumLines()
-		var avgs []float64
+		avgs := make([]float64, 0, o.Averages)
 		m.Spawn(knl.Place{}, func(th *machine.Thread) {
 			for a := 0; a < o.Averages; a++ {
 				var total float64
@@ -204,6 +232,8 @@ func MeasureMemLatencies(cfg knl.Config, o Options) MemLatencies {
 		s := NewSample(avgs)
 		lo, hi := s.CILo, s.CIHi
 		out.Cache = Range{Lo: lo, Hi: hi}
+		o.release(m)
+		memo.Store(o.Memo, key, out)
 		return out
 	}
 	// Flat mode: in SNC modes the band spans local vs remote cluster
@@ -224,11 +254,13 @@ func MeasureMemLatencies(cfg knl.Config, o Options) MemLatencies {
 		}
 		out.DRAM = RangeOf(dr)
 		out.MCDRAM = RangeOf(mc)
+		memo.Store(o.Memo, key, out)
 		return out
 	}
 	d := measure(knl.DDR, 0)
 	mcd := measure(knl.MCDRAM, 0)
 	out.DRAM = Range{Lo: d, Hi: d}
 	out.MCDRAM = Range{Lo: mcd, Hi: mcd}
+	memo.Store(o.Memo, key, out)
 	return out
 }

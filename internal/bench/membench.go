@@ -7,6 +7,7 @@ import (
 	"knlcap/internal/knl"
 	"knlcap/internal/machine"
 	"knlcap/internal/memmode"
+	"knlcap/internal/memo"
 	"knlcap/internal/stats"
 )
 
@@ -161,6 +162,11 @@ func warmSideCache(m *machine.Machine, pools []threadBufs, k StreamKernel) {
 // counted bandwidth in GB/s.
 func MeasureMemBandwidth(cfg knl.Config, o Options, k StreamKernel,
 	kind knl.MemKind, nt bool, threads int, sched knl.Schedule) MemBWPoint {
+	key := o.KeyFor("membw", cfg).
+		Int(int(k)).Int(int(kind)).Bool(nt).Int(threads).Int(int(sched)).Key()
+	if v, ok := memo.Lookup[MemBWPoint](o.Memo, key); ok {
+		return v
+	}
 	m := o.acquire(cfg)
 	places := placesFor(sched, threads)
 	pools := allocPool(m, cfg, places, kind, o, k)
@@ -203,11 +209,13 @@ func MeasureMemBandwidth(cfg knl.Config, o Options, k StreamKernel,
 		vals[i] = counted / d
 	}
 	o.release(m)
-	return MemBWPoint{
+	out := MemBWPoint{
 		Config: cfg, Kernel: k, Kind: kind, NT: nt,
 		Threads: threads, Cores: knl.CoresUsed(places), Schedule: sched,
 		GBs: stats.Median(vals),
 	}
+	memo.Store(o.Memo, key, out)
+	return out
 }
 
 // MeasureStreamPeak runs the STREAM-style measurement: one long untimed-
@@ -215,6 +223,11 @@ func MeasureMemBandwidth(cfg knl.Config, o Options, k StreamKernel,
 // the "peak" companion number reported next to the medians in Table II.
 func MeasureStreamPeak(cfg knl.Config, o Options, k StreamKernel,
 	kind knl.MemKind, threads int, sched knl.Schedule) float64 {
+	key := o.KeyFor("streampeak", cfg).
+		Int(int(k)).Int(int(kind)).Int(threads).Int(int(sched)).Key()
+	if v, ok := memo.Lookup[float64](o.Memo, key); ok {
+		return v
+	}
 	m := o.acquire(cfg)
 	places := placesFor(sched, threads)
 	pools := allocPool(m, cfg, places, kind, o, k)
@@ -251,7 +264,9 @@ func MeasureStreamPeak(cfg knl.Config, o Options, k StreamKernel,
 	}
 	total := float64(threads) * float64(iters) * float64(o.StreamLines) * k.CountedBytesPerLine()
 	o.release(m)
-	return total / end
+	peak := total / end
+	memo.Store(o.Memo, key, peak)
+	return peak
 }
 
 // MaxMedianBandwidth sweeps thread counts and schedules and returns the
@@ -265,7 +280,13 @@ func MaxMedianBandwidth(cfg knl.Config, o Options, k StreamKernel,
 	if len(scheds) == 0 {
 		scheds = []knl.Schedule{knl.FillTiles, knl.Compact}
 	}
-	pts, _ := exp.RunPooled(exp.Config{Parallel: o.Parallel}, len(scheds)*len(threadCounts),
+	kw := o.KeyFor("maxmedian-bw", cfg).
+		Int(int(k)).Int(int(kind)).Bool(nt).Ints(threadCounts).Int(len(scheds))
+	for _, sc := range scheds {
+		kw = kw.Int(int(sc))
+	}
+	pts, _ := exp.RunPooledMemo(exp.Config{Parallel: o.Parallel}, o.Memo, kw.Key(),
+		len(scheds)*len(threadCounts),
 		newWorkerPool, func(pool *exp.MachinePool, i int) MemBWPoint {
 			po := o
 			po.pool = pool
@@ -289,7 +310,9 @@ func TriadSweep(cfg knl.Config, o Options, sched knl.Schedule, counts []int) []M
 		counts = []int{1, 4, 8, 16, 32, 64, 128, 256}
 	}
 	kinds := []knl.MemKind{knl.MCDRAM, knl.DDR}
-	pts, _ := exp.RunPooled(exp.Config{Parallel: o.Parallel}, len(kinds)*len(counts),
+	key := o.KeyFor("fig9-triad", cfg).Int(int(sched)).Ints(counts).Key()
+	pts, _ := exp.RunPooledMemo(exp.Config{Parallel: o.Parallel}, o.Memo, key,
+		len(kinds)*len(counts),
 		newWorkerPool, func(pool *exp.MachinePool, i int) MemBWPoint {
 			po := o
 			po.pool = pool

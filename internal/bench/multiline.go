@@ -38,26 +38,29 @@ func MeasureMultiLine(cfg knl.Config, o Options, st cache.State, lineCounts []in
 	}
 	out := MultiLineFit{Config: cfg, State: st, Lines: lineCounts}
 	owner := knl.NumCores / 2
-	out.Medians = exp.Run(o.Parallel, len(lineCounts), func(i int) float64 {
-		n := lineCounts[i]
-		m := machine.New(cfg)
-		src := m.Alloc.MustAlloc(knl.DDR, 0, int64(n)*knl.LineSize)
-		dst := m.Alloc.MustAlloc(knl.DDR, 0, int64(n)*knl.LineSize)
-		var vals []float64
-		m.Spawn(knl.Place{Tile: 0, Core: 0}, func(th *machine.Thread) {
-			for it := 0; it < o.Iterations; it++ {
-				m.Prime(src, owner, st)
-				m.Prime(dst, 0, cache.Modified)
-				start := th.Now()
-				th.CopyStream(dst, src, false)
-				vals = append(vals, th.Now()-start)
+	key := o.KeyFor("multiline-fit", cfg).Int(int(st)).Ints(lineCounts).Key()
+	out.Medians, _ = exp.RunMemo(exp.Config{Parallel: o.Parallel}, o.Memo, key,
+		len(lineCounts), func(i int) float64 {
+			n := lineCounts[i]
+			m := o.acquire(cfg)
+			src := m.Alloc.MustAlloc(knl.DDR, 0, int64(n)*knl.LineSize)
+			dst := m.Alloc.MustAlloc(knl.DDR, 0, int64(n)*knl.LineSize)
+			vals := make([]float64, 0, o.Iterations)
+			m.Spawn(knl.Place{Tile: 0, Core: 0}, func(th *machine.Thread) {
+				runConverged(th, o.ConvergeAfter, o.Iterations,
+					func() {
+						m.Prime(src, owner, st)
+						m.Prime(dst, 0, cache.Modified)
+					},
+					func() { th.CopyStream(dst, src, false) },
+					func(elapsed float64) { vals = append(vals, elapsed) })
+			})
+			if _, err := m.Run(); err != nil {
+				panic(err)
 			}
+			o.release(m)
+			return stats.Median(vals)
 		})
-		if _, err := m.Run(); err != nil {
-			panic(err)
-		}
-		return stats.Median(vals)
-	})
 	xs := make([]float64, len(lineCounts))
 	for i, n := range lineCounts {
 		xs[i] = float64(n)

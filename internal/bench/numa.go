@@ -53,54 +53,58 @@ func MeasureNUMAAblation(cfg knl.Config, o Options, threads int) []NUMAPoint {
 		panic("bench: NUMA ablation requires an SNC mode")
 	}
 	policies := []NUMAPolicy{NUMALocal, NUMANode0, NUMARoundRobin}
-	return exp.Run(o.Parallel, len(policies), func(pi int) NUMAPoint {
-		pol := policies[pi]
-		m := machine.New(cfg)
-		places := placesFor(knl.FillTiles, threads)
-		fp := knl.NewFloorplan(cfg.YieldSeed)
-		nClusters := cfg.Cluster.Clusters()
-		bufs := make([][]int, len(places)) // per-thread buffer indices (pool below)
-		var pool []bufHandle
-		for r, pl := range places {
-			aff := 0
-			switch pol {
-			case NUMALocal:
-				aff = fp.TileCluster(cfg.Cluster, pl.Tile)
-			case NUMANode0:
-				aff = 0
-			case NUMARoundRobin:
-				aff = r % nClusters
+	key := o.KeyFor("numa-ablation", cfg).Int(threads).Key()
+	pts, _ := exp.RunMemo(exp.Config{Parallel: o.Parallel}, o.Memo, key,
+		len(policies), func(pi int) NUMAPoint {
+			pol := policies[pi]
+			m := o.acquire(cfg)
+			places := placesFor(knl.FillTiles, threads)
+			fp := knl.NewFloorplan(cfg.YieldSeed)
+			nClusters := cfg.Cluster.Clusters()
+			bufs := make([][]int, len(places)) // per-thread buffer indices (pool below)
+			var pool []bufHandle
+			for r, pl := range places {
+				aff := 0
+				switch pol {
+				case NUMALocal:
+					aff = fp.TileCluster(cfg.Cluster, pl.Tile)
+				case NUMANode0:
+					aff = 0
+				case NUMARoundRobin:
+					aff = r % nClusters
+				}
+				for b := 0; b < o.BuffersPerThread; b++ {
+					pool = append(pool, bufHandle{
+						buf: m.Alloc.MustAlloc(knl.DDR, aff, int64(o.StreamLines)*knl.LineSize),
+					})
+					bufs[r] = append(bufs[r], len(pool)-1)
+				}
 			}
-			for b := 0; b < o.BuffersPerThread; b++ {
-				pool = append(pool, bufHandle{
-					buf: m.Alloc.MustAlloc(knl.DDR, aff, int64(o.StreamLines)*knl.LineSize),
-				})
-				bufs[r] = append(bufs[r], len(pool)-1)
+			rng := stats.NewRNG(o.Seed)
+			picks := make([][]int, o.Iterations)
+			for it := range picks {
+				picks[it] = make([]int, threads)
+				for r := range picks[it] {
+					picks[it][r] = bufs[r][rng.Intn(len(bufs[r]))]
+				}
 			}
-		}
-		rng := stats.NewRNG(o.Seed)
-		picks := make([][]int, o.Iterations)
-		for it := range picks {
-			picks[it] = make([]int, threads)
-			for r := range picks[it] {
-				picks[it][r] = bufs[r][rng.Intn(len(bufs[r]))]
+			setup := func(iter int) {
+				for r := range places {
+					m.FlushBuffer(pool[picks[iter][r]].buf)
+				}
 			}
-		}
-		setup := func(iter int) {
-			for r := range places {
-				m.FlushBuffer(pool[picks[iter][r]].buf)
+			maxes := RunWindows(m, places, o, setup, func(th *machine.Thread, rank, iter int) {
+				th.ReadStream(pool[picks[iter][rank]].buf, true)
+			})
+			counted := float64(threads) * float64(o.StreamLines) * knl.LineSize
+			vals := make([]float64, len(maxes))
+			for i, d := range maxes {
+				vals[i] = counted / d
 			}
-		}
-		maxes := RunWindows(m, places, o, setup, func(th *machine.Thread, rank, iter int) {
-			th.ReadStream(pool[picks[iter][rank]].buf, true)
+			o.release(m)
+			return NUMAPoint{Policy: pol, Threads: threads, GBs: stats.Median(vals)}
 		})
-		counted := float64(threads) * float64(o.StreamLines) * knl.LineSize
-		vals := make([]float64, len(maxes))
-		for i, d := range maxes {
-			vals[i] = counted / d
-		}
-		return NUMAPoint{Policy: pol, Threads: threads, GBs: stats.Median(vals)}
-	})
+	return pts
 }
 
 type bufHandle struct{ buf memmode.Buffer }

@@ -58,10 +58,15 @@ func (s State) CanForward() bool {
 	return s == Modified || s == Exclusive || s == Forward
 }
 
-// entry is one way of one set.
+// entry is one way of one set. An entry is live only while its epoch
+// matches the array's: Reset and Flush advance the array epoch instead of
+// clearing the slice, so emptying a tag array is O(1) no matter how large
+// it is (the L2 arrays dominate Machine.Reset otherwise — ~12 MB of
+// entries across the die per pooled reuse).
 type entry struct {
 	line  Line
 	state State
+	epoch uint32 // live iff equal to SetAssoc.epoch
 	lru   uint64 // last-touch tick
 }
 
@@ -71,6 +76,7 @@ type SetAssoc struct {
 	sets    int
 	ways    int
 	tick    uint64
+	epoch   uint32
 	entries []entry // sets*ways, row-major by set
 
 	hits, misses, evictions uint64
@@ -106,6 +112,13 @@ func (c *SetAssoc) CapacityBytes() int { return c.sets * c.ways * 64 }
 
 func (c *SetAssoc) setOf(l Line) int { return int(uint64(l) & uint64(c.sets-1)) }
 
+// live reports whether the entry belongs to the current epoch and holds a
+// line. Every read path must use this rather than checking the state
+// alone, or lines from before a Reset would resurrect.
+func (c *SetAssoc) live(e *entry) bool {
+	return e.state != Invalid && e.epoch == c.epoch
+}
+
 // Lookup returns the state of the line (Invalid if absent) and updates LRU
 // and hit/miss counters on readable hits.
 func (c *SetAssoc) Lookup(l Line) State {
@@ -113,7 +126,7 @@ func (c *SetAssoc) Lookup(l Line) State {
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
 		e := &c.entries[base+w]
-		if e.state != Invalid && e.line == l {
+		if c.live(e) && e.line == l {
 			c.tick++
 			e.lru = c.tick
 			c.hits++
@@ -130,7 +143,7 @@ func (c *SetAssoc) Peek(l Line) State {
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
 		e := &c.entries[base+w]
-		if e.state != Invalid && e.line == l {
+		if c.live(e) && e.line == l {
 			return e.state
 		}
 	}
@@ -155,7 +168,7 @@ func (c *SetAssoc) Insert(l Line, s State) Victim {
 	var free, lru *entry
 	for w := 0; w < c.ways; w++ {
 		e := &c.entries[base+w]
-		if e.state == Invalid {
+		if !c.live(e) {
 			if free == nil {
 				free = e
 			}
@@ -179,7 +192,7 @@ func (c *SetAssoc) Insert(l Line, s State) Victim {
 		c.evictions++
 	}
 	c.tick++
-	*target = entry{line: l, state: s, lru: c.tick}
+	*target = entry{line: l, state: s, epoch: c.epoch, lru: c.tick}
 	return out
 }
 
@@ -191,7 +204,7 @@ func (c *SetAssoc) SetState(l Line, s State) {
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
 		e := &c.entries[base+w]
-		if e.state != Invalid && e.line == l {
+		if c.live(e) && e.line == l {
 			if s == Invalid {
 				e.state = Invalid
 			} else {
@@ -208,7 +221,7 @@ func (c *SetAssoc) Invalidate(l Line) State {
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
 		e := &c.entries[base+w]
-		if e.state != Invalid && e.line == l {
+		if c.live(e) && e.line == l {
 			s := e.state
 			e.state = Invalid
 			return s
@@ -217,19 +230,30 @@ func (c *SetAssoc) Invalidate(l Line) State {
 	return Invalid
 }
 
-// Flush removes every line (states are discarded).
+// Flush removes every line (states are discarded) by advancing the epoch;
+// the stale entries are reclaimed lazily as Insert reuses their ways.
 func (c *SetAssoc) Flush() {
-	for i := range c.entries {
-		c.entries[i].state = Invalid
-	}
+	c.bumpEpoch()
 }
 
 // Reset empties the tag array and zeroes the LRU clock and counters,
-// returning it to the just-constructed state (machine pooling).
+// returning it to the just-constructed state (machine pooling). Like
+// Flush it is O(1): pooled machines with large L2 arrays reset in
+// constant time instead of re-clearing megabytes of tags.
 func (c *SetAssoc) Reset() {
-	clear(c.entries)
+	c.bumpEpoch()
 	c.tick = 0
 	c.hits, c.misses, c.evictions = 0, 0, 0
+}
+
+// bumpEpoch invalidates every entry in O(1). On the (practically
+// unreachable) uint32 wraparound the slice is cleared for real, so an
+// entry surviving 2^32 epochs can never appear live again.
+func (c *SetAssoc) bumpEpoch() {
+	c.epoch++
+	if c.epoch == 0 {
+		clear(c.entries)
+	}
 }
 
 // Stats returns cumulative hit/miss/eviction counters.
@@ -241,7 +265,7 @@ func (c *SetAssoc) Stats() (hits, misses, evictions uint64) {
 func (c *SetAssoc) Occupancy() int {
 	n := 0
 	for i := range c.entries {
-		if c.entries[i].state != Invalid {
+		if c.live(&c.entries[i]) {
 			n++
 		}
 	}

@@ -37,8 +37,8 @@ func (c *SetAssoc) Digest() uint64 {
 	d.put(c.evictions)
 	for i := range c.entries {
 		e := &c.entries[i]
-		if e.state == Invalid {
-			continue // stale tags of invalidated entries are not state
+		if !c.live(e) {
+			continue // invalidated and stale-epoch tags are not state
 		}
 		d.put(uint64(i))
 		d.put(uint64(e.line))
@@ -56,7 +56,7 @@ func (d *DirectMapped) Digest() uint64 {
 	dg.put(d.misses)
 	dg.put(d.evicted)
 	for i := uint64(0); i < d.sets; i++ {
-		if !d.valid[i] {
+		if !d.live(i) {
 			continue
 		}
 		dirty := uint64(0)

@@ -6,11 +6,15 @@ import "fmt"
 // hybrid memory modes: direct-mapped on physical line addresses, with a
 // dirty bit per entry (write-backs from L2 go straight to MCDRAM, so dirty
 // lines must be flushed to DDR on eviction).
+// An entry is present only while its epoch matches the array's, mirroring
+// SetAssoc: Reset advances the epoch instead of clearing the (potentially
+// hundreds of megabytes of) tag state of a modeled side cache.
 type DirectMapped struct {
 	name    string
 	sets    uint64
+	cur     uint32 // current epoch; starts at 1 so zeroed slices read absent
 	tags    []Line
-	valid   []bool
+	epochs  []uint32
 	dirty   []bool
 	hits    uint64
 	misses  uint64
@@ -30,11 +34,12 @@ func NewDirectMapped(name string, capacityBytes int64) *DirectMapped {
 		sets &= sets - 1
 	}
 	return &DirectMapped{
-		name:  name,
-		sets:  sets,
-		tags:  make([]Line, sets),
-		valid: make([]bool, sets),
-		dirty: make([]bool, sets),
+		name:   name,
+		sets:   sets,
+		cur:    1,
+		tags:   make([]Line, sets),
+		epochs: make([]uint32, sets),
+		dirty:  make([]bool, sets),
 	}
 }
 
@@ -46,10 +51,13 @@ func (d *DirectMapped) CapacityBytes() int64 { return int64(d.sets) * 64 }
 
 func (d *DirectMapped) idx(l Line) uint64 { return uint64(l) & (d.sets - 1) }
 
+// live reports whether set i holds a current-epoch entry.
+func (d *DirectMapped) live(i uint64) bool { return d.epochs[i] == d.cur }
+
 // Probe reports whether the line is present, updating hit/miss counters.
 func (d *DirectMapped) Probe(l Line) bool {
 	i := d.idx(l)
-	if d.valid[i] && d.tags[i] == l {
+	if d.live(i) && d.tags[i] == l {
 		d.hits++
 		return true
 	}
@@ -60,18 +68,18 @@ func (d *DirectMapped) Probe(l Line) bool {
 // Peek reports presence without touching the hit/miss counters.
 func (d *DirectMapped) Peek(l Line) bool {
 	i := d.idx(l)
-	return d.valid[i] && d.tags[i] == l
+	return d.live(i) && d.tags[i] == l
 }
 
 // Fill installs the line, returning the displaced line and whether it was
 // dirty (needs a DDR write-back). ok is false when nothing was displaced.
 func (d *DirectMapped) Fill(l Line) (victim Line, dirty, ok bool) {
 	i := d.idx(l)
-	if d.valid[i] && d.tags[i] != l {
+	if d.live(i) && d.tags[i] != l {
 		victim, dirty, ok = d.tags[i], d.dirty[i], true
 	}
 	d.tags[i] = l
-	d.valid[i] = true
+	d.epochs[i] = d.cur
 	d.dirty[i] = false
 	if ok {
 		d.evicted++
@@ -83,7 +91,7 @@ func (d *DirectMapped) Fill(l Line) (victim Line, dirty, ok bool) {
 // no-op if the line is not present.
 func (d *DirectMapped) MarkDirty(l Line) {
 	i := d.idx(l)
-	if d.valid[i] && d.tags[i] == l {
+	if d.live(i) && d.tags[i] == l {
 		d.dirty[i] = true
 	}
 }
@@ -91,15 +99,22 @@ func (d *DirectMapped) MarkDirty(l Line) {
 // IsDirty reports whether the line is present and dirty.
 func (d *DirectMapped) IsDirty(l Line) bool {
 	i := d.idx(l)
-	return d.valid[i] && d.tags[i] == l && d.dirty[i]
+	return d.live(i) && d.tags[i] == l && d.dirty[i]
 }
 
 // Reset empties the tag array and zeroes the counters, returning it to
-// the just-constructed state (machine pooling).
+// the just-constructed state (machine pooling). O(1) via the epoch: a
+// modeled multi-GB side cache resets in constant time. On the uint32
+// wraparound the slices are cleared for real so no ancient entry can
+// ever read as live again.
 func (d *DirectMapped) Reset() {
-	clear(d.tags)
-	clear(d.valid)
-	clear(d.dirty)
+	d.cur++
+	if d.cur == 0 {
+		clear(d.tags)
+		clear(d.epochs)
+		clear(d.dirty)
+		d.cur = 1
+	}
 	d.hits, d.misses, d.evicted = 0, 0, 0
 }
 

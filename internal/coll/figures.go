@@ -36,11 +36,16 @@ func MeasureFigure(cfg knl.Config, model *core.Model, o bench.Options, op Op,
 	}
 	// Each (thread count, algorithm) measurement runs on its own machine;
 	// fan the 3*len(counts) points out and reassemble per-count triples.
+	// The memo key covers the model because the tuned algorithm's shape (and
+	// its min-max envelope) is derived from the capability parameters.
 	algs := []Algorithm{Tuned, OMP, MPI}
-	flat := exp.Run(o.Parallel, len(counts)*len(algs), func(i int) Result {
-		p := DefaultParams(counts[i/len(algs)], sched)
-		return Measure(cfg, model, o, op, algs[i%len(algs)], p)
-	})
+	key := model.FoldKey(o.KeyFor("coll-figure", cfg)).
+		Int(int(op)).Int(int(sched)).Ints(counts).Key()
+	flat, _ := exp.RunMemo(exp.Config{Parallel: o.Parallel}, o.Memo, key,
+		len(counts)*len(algs), func(i int) Result {
+			p := DefaultParams(counts[i/len(algs)], sched)
+			return Measure(cfg, model, o, op, algs[i%len(algs)], p)
+		})
 	out := make([]FigurePoint, len(counts))
 	for ci, n := range counts {
 		out[ci] = FigurePoint{

@@ -14,6 +14,7 @@ import (
 
 	"knlcap/internal/bench"
 	"knlcap/internal/knl"
+	"knlcap/internal/memo"
 	"knlcap/internal/units"
 )
 
@@ -137,6 +138,34 @@ func FromMeasurements(t1 bench.TableI, t2 bench.TableII, sweep []bench.MemBWPoin
 }
 
 func mid(r bench.Range) float64 { return (r.Lo + r.Hi) / 2 }
+
+// FoldKey mixes every capability the analytical cost functions read into a
+// memo key, so cached predictions are invalidated when the model (or the
+// configuration it was fitted for) changes. The bandwidth curves are folded
+// in a fixed technology order — map iteration order must not leak into keys.
+func (m *Model) FoldKey(w *memo.KeyWriter) *memo.KeyWriter {
+	w = m.Config.FoldKey(w)
+	for _, v := range []units.Nanos{
+		m.RL, m.RTileM, m.RTileE, m.RTileSF,
+		m.RR, m.RRMin, m.RRMax, m.RI, m.RIMCDRAM,
+		m.CAlpha, m.CBeta, m.ReduceOpNs,
+	} {
+		w = w.Float(v.Float())
+	}
+	for _, v := range []units.GBps{
+		m.BWRemoteCopy, m.BWTileCopyE, m.BWTileCopyM, m.BWRemoteRead,
+	} {
+		w = w.Float(v.Float())
+	}
+	for _, kind := range []knl.MemKind{knl.DDR, knl.MCDRAM} {
+		pts := m.BWCurve[kind]
+		w = w.Int(int(kind)).Int(len(pts))
+		for _, p := range pts {
+			w = w.Int(p.Threads).Float(p.GBs.Float())
+		}
+	}
+	return w.Float(m.WorstPollFactor)
+}
 
 // Validate checks the model for physical plausibility.
 func (m *Model) Validate() error {

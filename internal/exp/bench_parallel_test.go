@@ -6,6 +6,7 @@ import (
 
 	"knlcap/internal/bench"
 	"knlcap/internal/knl"
+	"knlcap/internal/memo"
 )
 
 // BenchmarkSweepParallel measures the wall-clock effect of fanning a
@@ -32,4 +33,43 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 	b.Run("serial", run(1))
 	b.Run("gomaxprocs", run(runtime.GOMAXPROCS(0)))
+}
+
+// BenchmarkLatencySweep pins the wall-clock effect of the two perf layers of
+// this PR on the Table I latency sweep: cold (exact simulation), converged
+// (jitter off, ConvergeAfter gate extrapolating settled passes) and warm
+// (answered from the result cache without simulating). The acceptance bar
+// is cold/converged >= 5x; warm should be orders of magnitude faster still.
+func BenchmarkLatencySweep(b *testing.B) {
+	cfg := knl.DefaultConfig()
+	base := bench.DefaultOptions()
+	base.Parallel = 1
+
+	// 0 remote targets = the full Table I default of 8, i.e. the real
+	// artifact sweep (~40 chase points).
+	b.Run("cold", func(b *testing.B) {
+		o := base
+		o.NoJitter = true
+		for i := 0; i < b.N; i++ {
+			bench.MeasureCacheLatencies(cfg, o, 0)
+		}
+	})
+	b.Run("converged", func(b *testing.B) {
+		o := base
+		o.NoJitter = true
+		o.ConvergeAfter = 3
+		for i := 0; i < b.N; i++ {
+			bench.MeasureCacheLatencies(cfg, o, 0)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		o := base
+		o.NoJitter = true
+		o.Memo = memo.NewMemory()
+		bench.MeasureCacheLatencies(cfg, o, 0) // populate
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bench.MeasureCacheLatencies(cfg, o, 0)
+		}
+	})
 }

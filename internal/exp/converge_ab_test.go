@@ -1,0 +1,102 @@
+package exp_test
+
+import (
+	"reflect"
+	"testing"
+
+	"knlcap/internal/bench"
+	"knlcap/internal/cache"
+	"knlcap/internal/knl"
+	"knlcap/internal/memo"
+)
+
+// TestConvergenceEquivalence is the golden A/B contract of the ConvergeAfter
+// gate at the artifact level: with jitter disabled, Table I, Figure 4 and
+// Figure 9 must be bit-identical with the gate off (exact simulation of
+// every pass) and on (settled passes extrapolated). Any divergence means the
+// gate's fixed-point replay performed different arithmetic than the engine
+// and must be treated as a correctness bug, not measurement noise.
+func TestConvergenceEquivalence(t *testing.T) {
+	cfg := knl.DefaultConfig() // SNC4-flat, the configuration of Figs. 4 and 9
+	base := bench.DefaultOptions().Quick()
+	base.NoJitter = true
+
+	withK := func(o bench.Options, k int) bench.Options {
+		o.ConvergeAfter = k
+		return o
+	}
+
+	t.Run("TableI", func(t *testing.T) {
+		measure := func(k int) bench.TableI {
+			o := withK(base, k)
+			return bench.TableI{
+				Latency:    bench.MeasureCacheLatencies(cfg, o, 2),
+				Bandwidth:  bench.MeasureCacheBandwidths(cfg, o, []int{128}),
+				Congestion: bench.MeasureCongestion(cfg, o, 4),
+				Contention: bench.MeasureContention(cfg, o, []int{1, 4, 8}),
+			}
+		}
+		exact := measure(0)
+		gated := measure(3)
+		if !reflect.DeepEqual(exact, gated) {
+			t.Errorf("Table I differs between -converge 0 and -converge 3:\nexact: %+v\ngated: %+v",
+				exact, gated)
+		}
+	})
+
+	t.Run("Fig4", func(t *testing.T) {
+		o := base
+		o.Averages = 4
+		states := []cache.State{cache.Modified, cache.Exclusive, cache.Invalid}
+		exact := bench.MeasurePerCoreLatencies(cfg, withK(o, 1), states)
+		gated := bench.MeasurePerCoreLatencies(cfg, withK(o, 3), states)
+		if !reflect.DeepEqual(exact, gated) {
+			t.Error("Figure 4 per-core latencies differ between -converge 1 and -converge 3")
+		}
+	})
+
+	t.Run("Fig9", func(t *testing.T) {
+		counts := []int{1, 4, 8}
+		exact := bench.TriadSweep(cfg, withK(base, 0), knl.FillTiles, counts)
+		gated := bench.TriadSweep(cfg, withK(base, 3), knl.FillTiles, counts)
+		if !reflect.DeepEqual(exact, gated) {
+			t.Errorf("Figure 9 triad sweep differs between -converge 0 and -converge 3:\nexact: %+v\ngated: %+v",
+				exact, gated)
+		}
+	})
+}
+
+// TestMemoEquivalence is the cache half of the contract: a warm sweep must
+// reproduce the cold sweep's results bit-for-bit, and must actually answer
+// from the cache rather than re-simulating.
+func TestMemoEquivalence(t *testing.T) {
+	cfg := knl.DefaultConfig()
+	o := bench.DefaultOptions().Quick()
+	o.Memo = memo.NewMemory()
+
+	measure := func() bench.TableI {
+		return bench.TableI{
+			Latency:    bench.MeasureCacheLatencies(cfg, o, 2),
+			Bandwidth:  bench.MeasureCacheBandwidths(cfg, o, []int{128}),
+			Congestion: bench.MeasureCongestion(cfg, o, 4),
+			Contention: bench.MeasureContention(cfg, o, []int{1, 4, 8}),
+		}
+	}
+	cold := measure()
+	after := o.Memo.Stats()
+	if after.Stores == 0 {
+		t.Fatal("cold sweep stored nothing in the cache")
+	}
+	warm := measure()
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("warm Table I differs from cold:\ncold: %+v\nwarm: %+v", cold, warm)
+	}
+	final := o.Memo.Stats()
+	if final.Hits == 0 {
+		t.Error("warm sweep hit the cache zero times")
+	}
+	if final.Stores != after.Stores {
+		t.Errorf("warm sweep stored %d new entries; every point should have hit",
+			final.Stores-after.Stores)
+	}
+}

@@ -3,6 +3,8 @@ package knl
 import (
 	"fmt"
 	"strings"
+
+	"knlcap/internal/memo"
 )
 
 // Config is the full machine configuration: one of the fifteen
@@ -123,4 +125,11 @@ func ParseMemoryMode(name string) (MemoryMode, error) {
 		}
 	}
 	return 0, fmt.Errorf("knl: unknown memory mode %q (want flat|cache|hybrid)", name)
+}
+
+// FoldKey folds the full configuration into a memo key: every field
+// participates, since each one changes simulated behaviour.
+func (c Config) FoldKey(w *memo.KeyWriter) *memo.KeyWriter {
+	return w.Int(int(c.Cluster)).Int(int(c.Memory)).Uint(c.YieldSeed).
+		Uint(uint64(c.CacheScaleShift)).Float(c.HybridCacheFraction)
 }

@@ -1,5 +1,7 @@
 package machine
 
+import "knlcap/internal/memo"
+
 // Params are the protocol timing constants of the simulated chip, in
 // nanoseconds. They are the calibration surface of the model: the anchor
 // values below are chosen so the simulator's *measured* medians land in the
@@ -147,4 +149,22 @@ func KNCLikeParams() Params {
 	p.MLPCopy = 4
 	p.MLPMem = 4
 	return p
+}
+
+// FoldKey folds every timing constant into a memo key, in declaration
+// order: any parameter change must change the content address of every
+// sweep result measured under it.
+func (p Params) FoldKey(w *memo.KeyWriter) *memo.KeyWriter {
+	return w.
+		Float(p.L1HitNs).Float(p.L1VecNs).Float(p.L2MissDetectNs).
+		Float(p.L2HitMNs).Float(p.L2HitENs).Float(p.L2HitSFNs).
+		Float(p.CHASvcNs).Float(p.DirMissNs).Float(p.InvPerOwnerNs).Float(p.InvRoundTripNs).
+		Float(p.OwnerPortSvcNs).Float(p.OwnerPortSvcMNs).
+		Float(p.OwnerExtraMNs).Float(p.OwnerExtraENs).Float(p.OwnerExtraSFNs).
+		Float(p.DeliverNs).
+		Float(p.MCDRAMCacheTagNs).
+		Float(p.StoreHitNs).Float(p.StoreSerialNs).Float(p.StorePostNs).
+		Int(p.MLPScalarRead).Int(p.MLPVecRead).Int(p.MLPCopy).Int(p.MLPMem).
+		Float(p.IssuePerLineNs).
+		Float(p.JitterFrac)
 }

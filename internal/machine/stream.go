@@ -360,8 +360,23 @@ func (m *Machine) mlpFor(cls srcClass, vector, copyLike bool) int {
 	}
 }
 
-// topUp ensures the chunk took at least its latency bound.
+// chunkStart stamps the anchor of a chunk's latency bound, notifying the
+// convergence-gate observer (Machine.OnChunkStart) so a replay can anchor
+// the matching top-up on its own clock.
+func (m *Machine) chunkStart(p *sim.Proc) float64 {
+	if m.OnChunkStart != nil {
+		m.OnChunkStart(p)
+	}
+	return m.Env.Now()
+}
+
+// topUp ensures the chunk took at least its latency bound. The observer is
+// notified of the bound unconditionally — whether the remainder wait fires
+// is a clock comparison the replay must re-make on its own clock.
 func (m *Machine) topUp(p *sim.Proc, start, lat float64) {
+	if m.OnTopUp != nil {
+		m.OnTopUp(p, lat)
+	}
 	if el := m.Env.Now() - start; el < lat {
 		p.Wait(m.jitter(lat - el))
 	}
@@ -380,7 +395,7 @@ func (m *Machine) streamRead(p *sim.Proc, core int, b memmode.Buffer, from, n in
 		if chunkEnd > end {
 			chunkEnd = end
 		}
-		start := m.Env.Now()
+		start := m.chunkStart(p)
 		for j := i; j < chunkEnd; j++ {
 			m.serialRead(p, core, b, b.Line(j), &pd)
 		}
@@ -413,7 +428,7 @@ func (m *Machine) streamWrite(p *sim.Proc, core int, b memmode.Buffer, from, n i
 				lat = rfo
 			}
 		}
-		start := m.Env.Now()
+		start := m.chunkStart(p)
 		for j := i; j < chunkEnd; j++ {
 			if nt {
 				m.serialWriteNT(p, core, b, b.Line(j), &pd)
@@ -453,7 +468,7 @@ func (m *Machine) streamCopy(p *sim.Proc, core int, dst, src memmode.Buffer, dst
 		if i+chunk > n {
 			chunk = n - i
 		}
-		start := m.Env.Now()
+		start := m.chunkStart(p)
 		for j := 0; j < chunk; j++ {
 			m.serialRead(p, core, src, src.Line(srcFrom+i+j), &pd)
 		}
@@ -482,7 +497,7 @@ func (m *Machine) streamTriad(p *sim.Proc, core int, dst, b, c memmode.Buffer, n
 		if i+chunk > n {
 			chunk = n - i
 		}
-		start := m.Env.Now()
+		start := m.chunkStart(p)
 		for j := 0; j < chunk; j++ {
 			m.serialRead(p, core, b, b.Line(i+j), &pd)
 			m.serialRead(p, core, c, c.Line(i+j), &pd)

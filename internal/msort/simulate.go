@@ -7,6 +7,7 @@ import (
 	"knlcap/internal/exp"
 	"knlcap/internal/knl"
 	"knlcap/internal/machine"
+	"knlcap/internal/memo"
 	"knlcap/internal/stats"
 	"knlcap/internal/units"
 )
@@ -160,6 +161,22 @@ func FitOverheadParallel(cfg knl.Config, model *core.Model, kind knl.MemKind,
 	return core.OverheadModel{Alpha: nf.Alpha, Beta: nf.Beta}
 }
 
+// FitOverheadMemo is FitOverheadParallel backed by a result cache: the fit
+// is returned from the cache when the configuration, model, and sweep are
+// unchanged, and stored after a cold run. A nil cache degrades to the
+// uncached parallel fit.
+func FitOverheadMemo(cfg knl.Config, model *core.Model, kind knl.MemKind,
+	threadCounts []int, parallel int, c *memo.Cache) core.OverheadModel {
+	key := model.FoldKey(cfg.FoldKey(memo.NewKey("msort-fit-overhead"))).
+		Int(int(kind)).Ints(threadCounts).Key()
+	if v, ok := memo.Lookup[core.OverheadModel](c, key); ok {
+		return v
+	}
+	oh := FitOverheadParallel(cfg, model, kind, threadCounts, parallel)
+	memo.Store(c, key, oh)
+	return oh
+}
+
 // Figure10Point is one x-position of one Figure 10 panel.
 type Figure10Point struct {
 	Threads    int
@@ -200,4 +217,20 @@ func Figure10Parallel(cfg knl.Config, model *core.Model, oh core.OverheadModel,
 			OverCutoff: model.EfficiencyCutoff(mp, oh),
 		}
 	})
+}
+
+// Figure10Memo is Figure10Parallel backed by a result cache. The overhead
+// model is part of the key — the full-cost curves are a function of it.
+func Figure10Memo(cfg knl.Config, model *core.Model, oh core.OverheadModel,
+	totalLines int, kind knl.MemKind, threadCounts []int, parallel int,
+	c *memo.Cache) []Figure10Point {
+	key := model.FoldKey(cfg.FoldKey(memo.NewKey("msort-figure10"))).
+		Float(oh.Alpha.Float()).Float(oh.Beta.Float()).
+		Int(totalLines).Int(int(kind)).Ints(threadCounts).Key()
+	if v, ok := memo.Lookup[[]Figure10Point](c, key); ok {
+		return v
+	}
+	pts := Figure10Parallel(cfg, model, oh, totalLines, kind, threadCounts, parallel)
+	memo.Store(c, key, pts)
+	return pts
 }

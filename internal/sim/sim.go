@@ -112,6 +112,16 @@ type Env struct {
 	live int // processes spawned and not yet finished
 	//knl:nostate zero at every quiescent digest/Reset point
 	blocked int // processes waiting on a Signal or Resource (no event queued)
+
+	// OnWait, when non-nil, observes every Proc.Wait before it schedules:
+	// the measurement layer's convergence gate records per-pass wait
+	// profiles through it (internal/bench). It must not touch the
+	// environment. The hook sees relative Waits only — WaitUntil and
+	// Signal/Resource wake-ups bypass it — so observers that need complete
+	// time accounting must cross-check elapsed time themselves (the bench
+	// recorder folds the recorded waits and compares against the clock).
+	//knl:nostate observation hook: mechanism, not simulated state
+	OnWait func(p *Proc, d Time)
 }
 
 // NewEnv returns an empty simulation at time 0.
@@ -241,6 +251,9 @@ func (p *Proc) Wait(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: Wait(%v) negative", d))
 	}
+	if p.env.OnWait != nil {
+		p.env.OnWait(p, d)
+	}
 	p.env.schedule(p, p.env.now+d)
 	p.yield()
 }
@@ -297,6 +310,7 @@ func (e *Env) Reset() {
 	}
 	e.now = 0
 	e.seq = 0
+	e.OnWait = nil
 }
 
 // ErrDeadlock reports that the event queue drained while processes were

@@ -62,14 +62,21 @@ func (r *RNG) Float64() float64 {
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a random permutation of [0, len(p)), consuming
+// the generator exactly like Perm. Hot measurement loops use it with a
+// reused scratch slice so repeated passes stay allocation-free.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
-	for i := n - 1; i > 0; i-- {
+	for i := len(p) - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
 		p[i], p[j] = p[j], p[i]
 	}
-	return p
 }
 
 // Shuffle randomly permutes the first n indices using swap.

@@ -335,6 +335,29 @@ func TestRNGFloat64Range(t *testing.T) {
 	}
 }
 
+// TestRNGPermIntoMatchesPerm: the in-place variant must produce the same
+// permutation AND leave the generator in the same state, so a measurement
+// loop can swap one for the other without perturbing any later draw.
+func TestRNGPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 32, 129} {
+		a, b := NewRNG(uint64(n)*17+1), NewRNG(uint64(n)*17+1)
+		p := a.Perm(n)
+		q := make([]int, n)
+		b.PermInto(q)
+		for i := range p {
+			if p[i] != q[i] {
+				t.Fatalf("n=%d: PermInto diverged from Perm at %d: %v vs %v", n, i, q, p)
+			}
+		}
+		if a.State() != b.State() {
+			t.Fatalf("n=%d: PermInto consumed the generator differently", n)
+		}
+		if au, bu := a.Uint64(), b.Uint64(); au != bu {
+			t.Fatalf("n=%d: next draw differs after Perm vs PermInto: %d vs %d", n, au, bu)
+		}
+	}
+}
+
 func TestRNGPermIsPermutation(t *testing.T) {
 	f := func(seed uint64) bool {
 		n := 1 + int(seed%64)

@@ -11,9 +11,10 @@
 #                as the comparison point;
 #   current    — this checkout, measured now: engine event throughput
 #                (ns/event, events/s, allocs/op), the per-line-access cost
-#                of the machine hot path (ns_per_line_access), and the
+#                of the machine hot path (ns_per_line_access), the
 #                Figure 9 triad sweep wall-clock at -parallel 1 vs
-#                GOMAXPROCS;
+#                GOMAXPROCS, and the Table I latency sweep wall-clock
+#                cold vs converged (ConvergeAfter) vs cache-warm (memo);
 #   trajectory — append-only history, one record per run: git SHA, UTC
 #                date, ns/event, ns_per_line_access and allocs/op.
 #                Earlier records are preserved across runs, so the file
@@ -37,6 +38,7 @@ export GOMAXPROCS="$cores"
 engine=$(go test -bench=EngineEventThroughput -benchmem -benchtime="$benchtime" -run '^$' ./internal/sim/)
 hotpath=$(go test -bench=LoadLineHotPath -benchmem -benchtime="$benchtime" -run '^$' ./internal/machine/)
 sweep=$(go test -bench=SweepParallel -benchtime=1x -run '^$' ./internal/exp/)
+latency=$(go test -bench=LatencySweep -benchtime=3x -run '^$' ./internal/exp/)
 
 # go test -bench output:
 # BenchmarkEngineEventThroughput  N  <ns/op> ns/op  <ev/s> events/s  <ns/ev> ns/event  <B> B/op  <allocs> allocs/op
@@ -67,6 +69,16 @@ EOF
 serial_ns=$(echo "$sweep" | awk '/SweepParallel\/serial/     { for (i=1;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')
 par_ns=$(echo "$sweep"    | awk '/SweepParallel\/gomaxprocs/ { for (i=1;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')
 speedup=$(awk -v s="$serial_ns" -v p="$par_ns" 'BEGIN { printf "%.2f", s / p }')
+
+# Table I latency sweep wall-clock under the three execution regimes:
+# cold (exact simulation), converged (ConvergeAfter extrapolation), and
+# cache-warm (answered from the memo cache). The PR acceptance bar is
+# cold/converged >= 5.
+cold_ns=$(echo "$latency"      | awk '/LatencySweep\/cold/      { for (i=1;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')
+converged_ns=$(echo "$latency" | awk '/LatencySweep\/converged/ { for (i=1;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')
+warm_ns=$(echo "$latency"      | awk '/LatencySweep\/warm/      { for (i=1;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')
+converge_speedup=$(awk -v c="$cold_ns" -v g="$converged_ns" 'BEGIN { printf "%.2f", c / g }')
+warm_speedup=$(awk -v c="$cold_ns" -v w="$warm_ns" 'BEGIN { printf "%.2f", c / w }')
 
 # Carry the trajectory forward before overwriting the file.
 traj='[]'
@@ -112,6 +124,13 @@ cat > "$tmp" <<EOF
       "serial_ns_per_op": $serial_ns,
       "gomaxprocs_ns_per_op": $par_ns,
       "speedup": $speedup
+    },
+    "table1_latency_sweep": {
+      "cold_ns_per_op": $cold_ns,
+      "converged_ns_per_op": $converged_ns,
+      "cache_warm_ns_per_op": $warm_ns,
+      "converge_speedup": $converge_speedup,
+      "cache_warm_speedup": $warm_speedup
     }
   }
 }
