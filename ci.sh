@@ -25,10 +25,13 @@ go vet ./...
 step "go build ./..."
 go build ./...
 
-step "knl-lint ./... (archiving lint.json)"
+step "knl-lint -tests ./... (archiving lint.json)"
 # Archive the machine-readable findings even on a clean run ([]): CI
-# consumers diff lint.json across runs.
-if ! go run ./cmd/knl-lint -json ./... > lint.json; then
+# consumers diff lint.json across runs. -tests extends coverage to
+# in-package _test.go files; -timing leaves a per-analyzer wall-time
+# line ("lint-timing: ...") on stderr so the lint-stage cost shows up
+# in the perf trajectory next to the bench numbers.
+if ! go run ./cmd/knl-lint -json -tests -timing ./... > lint.json; then
     cat lint.json >&2
     exit 1
 fi

@@ -3,19 +3,22 @@
 //
 // Usage:
 //
-//	knl-lint [-C dir] [-tests] [-json] [-analyzers list] [patterns...]
+//	knl-lint [-C dir] [-tests] [-json] [-timing] [-analyzers list] [patterns...]
 //	knl-lint -list
 //
 // Patterns are module-relative directories; "dir/..." recurses and
 // "./..." (the default) covers the whole module. Findings print one per
 // line as "file:line:col: analyzer: message"; with -json they print as a
 // JSON array of {file,line,col,analyzer,message} objects in the same
-// stable order.
+// stable order. -timing reports per-analyzer wall time on stderr as a
+// single "lint-timing:" line (plus the shared call-graph build under the
+// pseudo-entry "callgraph"), so CI logs carry the lint-stage cost.
 //
 // Exit codes: 0 no findings, 1 findings reported, 2 usage or load error.
 // An -analyzers list that names an unknown analyzer, or that selects
 // nothing at all, is a usage error: a lint run that silently checks
-// nothing must not look like a clean bill of health.
+// nothing must not look like a clean bill of health. Both usage errors
+// repeat the -list listing so the fix is on screen.
 package main
 
 import (
@@ -23,7 +26,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"knlcap/internal/analysis"
 )
@@ -43,6 +48,17 @@ func fprintln(w io.Writer, args ...any) {
 	_, _ = fmt.Fprintln(w, args...)
 }
 
+// printAnalyzerList writes one "name  doc" line per analyzer, sorted by
+// name so the listing is stable however All() orders the suite. -list
+// prints it to stdout; the -analyzers usage errors reuse it on stderr.
+func printAnalyzerList(w io.Writer) {
+	analyzers := append([]*analysis.Analyzer(nil), analysis.All()...)
+	sort.Slice(analyzers, func(i, j int) bool { return analyzers[i].Name < analyzers[j].Name })
+	for _, a := range analyzers {
+		fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
+	}
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("knl-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -50,9 +66,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	timing := fs.Bool("timing", false, "report per-analyzer wall time on stderr")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	fs.Usage = func() {
-		fprintln(stderr, "usage: knl-lint [-C dir] [-tests] [-json] [-analyzers list] [patterns...]")
+		fprintln(stderr, "usage: knl-lint [-C dir] [-tests] [-json] [-timing] [-analyzers list] [patterns...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -61,9 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	analyzers := analysis.All()
 	if *list {
-		for _, a := range analyzers {
-			fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
-		}
+		printAnalyzerList(stdout)
 		return 0
 	}
 	if *names != "" {
@@ -74,9 +89,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		if len(selected) == 0 {
-			fprintf(stderr, "knl-lint: -analyzers %q selects no analyzers (valid: %s)\n",
-				*names, strings.Join(analysis.AnalyzerNames(), ", "))
+			fprintf(stderr, "knl-lint: -analyzers %q selects no analyzers; the analyzers are:\n", *names)
+			printAnalyzerList(stderr)
 			return 2
+		}
+		known := map[string]bool{}
+		for _, a := range analyzers {
+			known[a.Name] = true
+		}
+		for _, n := range selected {
+			if !known[n] {
+				fprintf(stderr, "knl-lint: unknown analyzer %q; the analyzers are:\n", n)
+				printAnalyzerList(stderr)
+				return 2
+			}
 		}
 		var err error
 		analyzers, err = analysis.ByName(selected)
@@ -109,7 +135,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	findings := analysis.Run(cfg, pkgs, analyzers)
+	findings, timings := analysis.RunTimed(cfg, pkgs, analyzers)
+	if *timing {
+		parts := make([]string, 0, len(timings))
+		for _, tm := range timings {
+			parts = append(parts, fmt.Sprintf("%s=%s", tm.Name, tm.Elapsed.Round(time.Millisecond/10)))
+		}
+		fprintf(stderr, "lint-timing: %s\n", strings.Join(parts, " "))
+	}
 	if *jsonOut {
 		if err := analysis.WriteJSON(stdout, findings); err != nil {
 			fprintln(stderr, "knl-lint:", err)

@@ -40,10 +40,22 @@
 //     flagged, except in basic blocks that cannot reach the function's
 //     exit (panic guards). This is the static twin of the -benchmem
 //     allocs/op gate in ci.sh.
+//   - memokey: at every memo entry point (memo.Lookup, exp.RunMemo,
+//     exp.RunPooledMemo), every tracked struct field the memoized compute
+//     path transitively reads must be folded into the key the call site
+//     passes — otherwise a changed field silently serves a stale cached
+//     result. Output-invariant fields carry a justified
+//     `//knl:nokey <reason>` directive on their declaration.
+//   - purity: functions on the call-graph closure of the convergence/memo
+//     hook roots (the op-trace hooks and the memo encode path) may not
+//     call into time, math/rand, or os, and may not write package-level
+//     variables — cached and replayed passes stay bit-identical only if
+//     the recorded op streams depend on nothing outside the simulation.
 //
-// statecov and hotalloc are whole-program analyzers: they run once over
-// the full loaded package set, on top of the basic-block CFG (cfg.go) and
-// class-hierarchy call graph (callgraph.go) this package exposes as
+// statecov, hotalloc, memokey, and purity are whole-program analyzers:
+// they run once over the full loaded package set, on top of the
+// basic-block CFG (cfg.go), the class-hierarchy call graph (callgraph.go)
+// and the def-use dataflow layer (dataflow.go) this package exposes as
 // reusable infrastructure.
 //
 // Findings print as "file:line:col: analyzer: message"; knl-lint -json
@@ -69,6 +81,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // A Finding is one diagnostic produced by an analyzer.
@@ -147,8 +160,42 @@ type Config struct {
 	StateCovDigestRoots []string
 	// StateCovResetRoots are the reset-path entry points, same form.
 	StateCovResetRoots []string
+	// MemoKeyTypes are the structs (as "pkgpath.Name") whose fields the
+	// memokey analyzer tracks: any field of one of these read on a
+	// memoized compute path must be folded into the memo key, unless
+	// annotated //knl:nokey <reason>.
+	MemoKeyTypes []string
+	// MemoEntries are the memo-cache entry points memokey checks call
+	// sites of.
+	MemoEntries []MemoEntry
+	// MemoKeyType and MemoKeyWriterType name the key value and key builder
+	// types (as "pkgpath.Name"); memokey traces local variables of these
+	// types through reaching definitions to reconstruct the fold chain.
+	MemoKeyType       string
+	MemoKeyWriterType string
+	// PurityRoots are the hook entry points (types.Func.FullName form)
+	// whose call-graph closure the purity analyzer requires to be free of
+	// time/rand/os calls and package-level writes.
+	PurityRoots []string
+	// PurityBannedPkgs overrides the banned import paths; nil means the
+	// default {"time", "math/rand", "os"}.
+	PurityBannedPkgs []string
 	// IncludeTests makes the loader include in-package _test.go files.
 	IncludeTests bool
+}
+
+// A MemoEntry describes one memo-cache entry point for the memokey
+// analyzer.
+type MemoEntry struct {
+	// Func is the entry point's types.Func.FullName (the generic origin
+	// for generic functions), e.g. "knlcap/internal/memo.Lookup".
+	Func string
+	// KeyArg is the 0-based index of the memo.Key argument.
+	KeyArg int
+	// ComputeArgs are the 0-based indices of the function-valued arguments
+	// that produce the cached value. Empty means the compute path is the
+	// function enclosing the call site (the Lookup/compute/Store pattern).
+	ComputeArgs []int
 }
 
 // DefaultConfig returns the configuration for this repository.
@@ -211,6 +258,25 @@ func DefaultConfig() *Config {
 		},
 		StateCovResetRoots: []string{
 			"(*knlcap/internal/machine.Machine).Reset",
+		},
+		MemoKeyTypes: []string{
+			"knlcap/internal/knl.Config",
+			"knlcap/internal/machine.Params",
+			"knlcap/internal/core.Model",
+			"knlcap/internal/bench.Options",
+		},
+		MemoEntries: []MemoEntry{
+			{Func: "knlcap/internal/memo.Lookup", KeyArg: 1},
+			{Func: "knlcap/internal/exp.RunMemo", KeyArg: 2, ComputeArgs: []int{4}},
+			{Func: "knlcap/internal/exp.RunPooledMemo", KeyArg: 2, ComputeArgs: []int{4, 5}},
+		},
+		MemoKeyType:       "knlcap/internal/memo.Key",
+		MemoKeyWriterType: "knlcap/internal/memo.KeyWriter",
+		PurityRoots: []string{
+			"(*knlcap/internal/bench.opTrace).onWait",
+			"(*knlcap/internal/bench.opTrace).onChunkStart",
+			"(*knlcap/internal/bench.opTrace).onTopUp",
+			"knlcap/internal/memo.encodeValue",
 		},
 	}
 }
@@ -277,7 +343,7 @@ func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{})
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, FloatCmp, ErrCheck, PrintBan, EnvShare, LineMap, UnitCheck, StateCov, HotAlloc}
+	return []*Analyzer{Determinism, FloatCmp, ErrCheck, PrintBan, EnvShare, LineMap, UnitCheck, StateCov, HotAlloc, MemoKey, Purity}
 }
 
 // AnalyzerNames returns the sorted names of the full suite.
@@ -310,13 +376,29 @@ func ByName(names []string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// A Timing records one analyzer's accumulated wall time over a run. The
+// pseudo-entry "callgraph" covers the shared call-graph construction the
+// whole-program analyzers amortize.
+type Timing struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // Run executes the analyzers over the packages, applies suppression
 // directives, and returns the surviving findings sorted by position and
 // deduplicated: two analyzer paths reporting the identical diagnostic at
 // the identical position collapse to one finding, so -json output never
 // carries duplicates.
 func Run(cfg *Config, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	findings, _ := RunTimed(cfg, pkgs, analyzers)
+	return findings
+}
+
+// RunTimed is Run plus per-analyzer wall times, sorted by name, for the
+// lint-stage cost trajectory (knl-lint -timing).
+func RunTimed(cfg *Config, pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Timing) {
 	var raw []Finding
+	elapsed := map[string]time.Duration{}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if a.Run == nil {
@@ -332,7 +414,9 @@ func Run(cfg *Config, pkgs []*Package, analyzers []*Analyzer) []Finding {
 				Pkg:      pkg,
 				findings: &raw,
 			}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
 		}
 	}
 	var graph *CallGraph
@@ -341,7 +425,9 @@ func Run(cfg *Config, pkgs []*Package, analyzers []*Analyzer) []Finding {
 			continue
 		}
 		if graph == nil {
+			start := time.Now()
 			graph = BuildCallGraph(pkgs)
+			elapsed["callgraph"] += time.Since(start)
 		}
 		pass := &ProgramPass{
 			Analyzer: a,
@@ -351,8 +437,15 @@ func Run(cfg *Config, pkgs []*Package, analyzers []*Analyzer) []Finding {
 			Graph:    graph,
 			findings: &raw,
 		}
+		start := time.Now()
 		a.RunProgram(pass)
+		elapsed[a.Name] += time.Since(start)
 	}
+	var timings []Timing
+	for name, d := range elapsed {
+		timings = append(timings, Timing{Name: name, Elapsed: d})
+	}
+	sort.Slice(timings, func(i, j int) bool { return timings[i].Name < timings[j].Name })
 	out := applySuppressions(pkgs, raw)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -370,7 +463,7 @@ func Run(cfg *Config, pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return a.Message < b.Message
 	})
-	return dedupe(out)
+	return dedupe(out), timings
 }
 
 // fsetOf returns the shared FileSet of the loaded packages (all packages

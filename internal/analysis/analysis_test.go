@@ -25,6 +25,18 @@ func fixtureCfg() *Config {
 		},
 		StateCovDigestRoots: []string{"(*fix.example/statecov.Machine).StateDigest"},
 		StateCovResetRoots:  []string{"(*fix.example/statecov.Machine).Reset"},
+		MemoKeyTypes:        []string{"fix.example/memokeypkg.Conf"},
+		MemoEntries: []MemoEntry{
+			{Func: "fix.example/fakememo.Lookup", KeyArg: 1},
+			{Func: "fix.example/fakexp.RunMemo", KeyArg: 1, ComputeArgs: []int{3}},
+		},
+		MemoKeyType:       "fix.example/fakememo.Key",
+		MemoKeyWriterType: "fix.example/fakememo.KeyWriter",
+		PurityRoots: []string{
+			"(*fix.example/puritypkg.Trace).OnWaitGood",
+			"(*fix.example/puritypkg.Trace).OnWaitBad",
+			"(*fix.example/puritypkg.Trace).OnMarkGuarded",
+		},
 	}
 }
 
@@ -273,6 +285,40 @@ func TestHotAllocGolden(t *testing.T) {
 	})
 }
 
+// TestMemoKeyGolden: the tracked Conf's fields are variously folded
+// (Complete, Rebuilt — the latter across a loop rebinding, proving the
+// reaching-definitions merge), missing from the key while read by the
+// compute (MissingFold's closure, LookupStore's enclosing function),
+// exempted with a justified //knl:nokey (Workers), and opted out with a
+// bare directive that is reported and not honored (Stale).
+func TestMemoKeyGolden(t *testing.T) {
+	diff(t, runOn(t, "fix.example/memokeypkg", "memokey"), []string{
+		"testdata/src/memokeypkg/memokeypkg.go:22:2: memokey: knl:nokey on Conf.Stale needs a reason",
+		"testdata/src/memokeypkg/memokeypkg.go:45:9: memokey: memo key at this fakexp.RunMemo call does not fold Conf.Beta, which the compute path reads; fold it or annotate the field //knl:nokey <reason>",
+		"testdata/src/memokeypkg/memokeypkg.go:69:14: memokey: memo key at this fakememo.Lookup call does not fold Conf.Stale, which the compute path reads; fold it or annotate the field //knl:nokey <reason>",
+	})
+}
+
+// TestMemoKeySkipsUntraceableKeys: fakexp.RunMemo's own internal Lookup
+// call receives the key as a parameter; the analyzer must stay silent
+// there (the contract is checked where the key is built).
+func TestMemoKeySkipsUntraceableKeys(t *testing.T) {
+	diff(t, runOn(t, "fix.example/fakexp", "memokey"), nil)
+}
+
+// TestPurityGolden: hooks that are pure (OnWaitGood), impure directly
+// and transitively (OnWaitBad through stamp), and impure only inside a
+// doomed panic guard (OnMarkGuarded, exempt). Cold is off the hook paths
+// entirely.
+func TestPurityGolden(t *testing.T) {
+	diff(t, runOn(t, "fix.example/puritypkg", "purity"), []string{
+		"testdata/src/puritypkg/puritypkg.go:27:2: purity: write to package-level calls on the hook path from (*fix.example/puritypkg.Trace).OnWaitBad; hooks must stay a pure function of the simulation",
+		"testdata/src/puritypkg/puritypkg.go:28:5: purity: call to os.Getenv on the hook path from (*fix.example/puritypkg.Trace).OnWaitBad; hooks must stay a pure function of the simulation",
+		"testdata/src/puritypkg/puritypkg.go:37:17: purity: call to time.Now on the hook path from (*fix.example/puritypkg.Trace).OnWaitBad; hooks must stay a pure function of the simulation",
+		"testdata/src/puritypkg/puritypkg.go:37:42: purity: call to rand.Float64 on the hook path from (*fix.example/puritypkg.Trace).OnWaitBad; hooks must stay a pure function of the simulation",
+	})
+}
+
 // TestSuiteOverFixtures runs the full suite over every fixture package at
 // once: the per-analyzer golden findings above, plus the cross-analyzer
 // ones (errpkg prints from a library package; printpkg's calls are also
@@ -282,11 +328,13 @@ func TestSuiteOverFixtures(t *testing.T) {
 	var pkgs []*Package
 	for _, path := range []string{
 		"fix.example/badlint", "fix.example/edgeig", "fix.example/envpkg",
-		"fix.example/errpkg", "fix.example/fakecache", "fix.example/fakesim",
-		"fix.example/fileig", "fix.example/hotpkg", "fix.example/linemapfree",
-		"fix.example/linemappkg", "fix.example/modelpkg", "fix.example/outpkg",
-		"fix.example/printpkg", "fix.example/simfree", "fix.example/simpkg",
-		"fix.example/statecov", "fix.example/unitpkg", "fix.example/units",
+		"fix.example/errpkg", "fix.example/fakecache", "fix.example/fakememo",
+		"fix.example/fakesim", "fix.example/fakexp", "fix.example/fileig",
+		"fix.example/hotpkg", "fix.example/linemapfree", "fix.example/linemappkg",
+		"fix.example/memokeypkg", "fix.example/modelpkg", "fix.example/outpkg",
+		"fix.example/printpkg", "fix.example/puritypkg", "fix.example/simfree",
+		"fix.example/simpkg", "fix.example/statecov", "fix.example/unitpkg",
+		"fix.example/units",
 	} {
 		pkg, ok := pkgsByPath[path]
 		if !ok {
@@ -310,6 +358,8 @@ func TestSuiteOverFixtures(t *testing.T) {
 		"unitcheck":   9,
 		"statecov":    8,  // the statecov fixture's coverage gaps
 		"hotalloc":    11, // the hotpkg fixture's closure, minus the suppressed make
+		"memokey":     3,  // memokeypkg's two missing folds + the bare nokey
+		"purity":      4,  // puritypkg's package write + three banned calls
 	}
 	for a, n := range want {
 		if perAnalyzer[a] != n {

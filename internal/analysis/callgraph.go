@@ -210,7 +210,16 @@ func (b *graphBuilder) addEdge(from, to *CallNode) {
 
 // callEdge records the edges for one call expression in caller's body.
 func (b *graphBuilder) callEdge(pkg *Package, caller *CallNode, call *ast.CallExpr) {
-	switch fun := ast.Unparen(call.Fun).(type) {
+	fn := ast.Unparen(call.Fun)
+	// Explicit generic instantiation (memo.Lookup[T](...)) wraps the
+	// callee in an index expression; the edge targets the generic origin.
+	switch ix := fn.(type) {
+	case *ast.IndexExpr:
+		fn = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fn = ast.Unparen(ix.X)
+	}
+	switch fun := fn.(type) {
 	case *ast.Ident:
 		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
 			b.addEdge(caller, b.node(fn))

@@ -19,10 +19,20 @@ import (
 //	                              the digest/reset state contract. The
 //	                              reason is mandatory; a bare //knl:nostate
 //	                              is reported and NOT honored.
+//
+//	//knl:nokey <reason>          on a struct field's doc or trailing
+//	                              comment, inside a memokey-tracked struct:
+//	                              the field is output-invariant (it changes
+//	                              how a result is computed, never the
+//	                              result) and is deliberately not folded
+//	                              into memo keys. Same grammar as nostate:
+//	                              the reason is mandatory; a bare
+//	                              //knl:nokey is reported and NOT honored.
 
 const (
 	hotpathDirective = "//knl:hotpath"
 	nostateDirective = "//knl:nostate"
+	nokeyDirective   = "//knl:nokey"
 )
 
 // findDirective scans the comment groups for a line-comment directive

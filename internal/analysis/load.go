@@ -32,6 +32,12 @@ type Loader struct {
 	ModuleDir    string
 	ModulePath   string
 	IncludeTests bool
+	// Overlay substitutes file contents by path (as constructed by the
+	// loader: filepath.Join of the cleaned directory and base name). Tests
+	// use it to type-check a deliberately mutated tree — the memokey
+	// seeded-mutation test drops a fold from a real FoldKey — without
+	// touching the working copy.
+	Overlay map[string][]byte
 
 	fset *token.FileSet
 	pkgs map[string]*Package // memoized by directory (cleaned)
@@ -191,7 +197,11 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	var pkgName string
 	for _, n := range names {
 		path := filepath.Join(dir, n)
-		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		var src any
+		if b, ok := l.Overlay[path]; ok {
+			src = b
+		}
+		f, err := parser.ParseFile(l.fset, path, src, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
 		}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMemoKeyCatchesDroppedFold seeds the exact regression memokey
+// exists to prevent: via a loader overlay it deletes one fold
+// (.Uint(c.YieldSeed)) from the real knl.Config.FoldKey — YieldSeed is
+// read by every bench compute path that builds a machine — and asserts
+// the analyzer reports the gap at real call sites, while the unmutated
+// tree stays clean. The overlay mutates only the in-memory parse, never
+// the working copy.
+func TestMemoKeyCatchesDroppedFold(t *testing.T) {
+	const moduleDir = "../.."
+	const dropped = ".Uint(c.YieldSeed)"
+	cfgPath := filepath.Join(moduleDir, "internal", "knl", "config.go")
+	src, err := os.ReadFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), dropped) {
+		t.Fatalf("%s no longer contains %q; update the seeded mutation", cfgPath, dropped)
+	}
+	mutated := strings.Replace(string(src), dropped, "", 1)
+
+	run := func(overlay map[string][]byte) []Finding {
+		loader, err := NewLoader(moduleDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loader.Overlay = overlay
+		pkgs, err := loader.Load("internal/bench", "internal/knl", "internal/machine",
+			"internal/memo", "internal/exp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Run(DefaultConfig(), pkgs, []*Analyzer{MemoKey})
+	}
+
+	if clean := run(nil); len(clean) != 0 {
+		t.Fatalf("unmutated tree: %d memokey findings, first: %s", len(clean), clean[0])
+	}
+	found := run(map[string][]byte{cfgPath: []byte(mutated)})
+	if len(found) == 0 {
+		t.Fatalf("dropping %s from Config.FoldKey produced no memokey findings", dropped)
+	}
+	for _, f := range found {
+		if !strings.Contains(f.Message, "Config.YieldSeed") {
+			t.Errorf("finding does not name the dropped field: %s", f)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package fakememo mirrors internal/memo's key/cache surface so the
+// memokey fixtures can exercise fold-chain tracing without importing the
+// real module.
+package fakememo
+
+// Key is a computed content address.
+type Key struct{ A, B uint64 }
+
+// KeyWriter accumulates folds, chainable like the real one.
+type KeyWriter struct{ a, b uint64 }
+
+// NewKey starts a fold chain salted with the workload name.
+func NewKey(workload string) *KeyWriter {
+	return &KeyWriter{a: uint64(len(workload)), b: 1}
+}
+
+// Int folds a signed integer.
+func (w *KeyWriter) Int(v int) *KeyWriter {
+	w.a ^= uint64(v)
+	w.b += w.a
+	return w
+}
+
+// Uint folds an unsigned integer.
+func (w *KeyWriter) Uint(v uint64) *KeyWriter {
+	w.a ^= v
+	w.b += w.a
+	return w
+}
+
+// Bool folds a flag.
+func (w *KeyWriter) Bool(v bool) *KeyWriter {
+	if v {
+		w.a++
+	}
+	w.b += w.a
+	return w
+}
+
+// Key finalizes the chain.
+func (w *KeyWriter) Key() Key { return Key{A: w.a, B: w.b} }
+
+// Cache is a memory-only stand-in for the real two-level cache.
+type Cache struct{ mem map[Key]float64 }
+
+// Lookup returns the cached value for k; the key is arg index 1 in the
+// fixture config's MemoEntries.
+func Lookup(c *Cache, k Key) (float64, bool) {
+	if c == nil || c.mem == nil {
+		return 0, false
+	}
+	v, ok := c.mem[k]
+	return v, ok
+}
+
+// Store caches v under k.
+func Store(c *Cache, k Key, v float64) {
+	if c == nil {
+		return
+	}
+	if c.mem == nil {
+		c.mem = map[Key]float64{}
+	}
+	c.mem[k] = v
+}

@@ -1,0 +1,24 @@
+// Package fakexp mirrors exp.RunMemo's shape (key parameter plus compute
+// closure) for the memokey fixtures. Its own internal Lookup call site
+// receives the key as a parameter — an untraceable chain — which the
+// analyzer must skip: the contract is checked where the key is built.
+package fakexp
+
+import "fix.example/fakememo"
+
+// RunMemo returns the cached sweep for key, or computes it point by
+// point. In the fixture config the key is arg index 1 and the compute
+// closure arg index 3.
+func RunMemo(c *fakememo.Cache, key fakememo.Key, n int, point func(i int) float64) []float64 {
+	if v, ok := fakememo.Lookup(c, key); ok {
+		return []float64{v}
+	}
+	out := make([]float64, n)
+	sum := 0.0
+	for i := range out {
+		out[i] = point(i)
+		sum += out[i]
+	}
+	fakememo.Store(c, key, sum)
+	return out
+}

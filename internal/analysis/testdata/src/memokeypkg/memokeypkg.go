@@ -1,0 +1,75 @@
+// Package memokeypkg exercises the memokey analyzer: a tracked config
+// struct whose fields are variously folded, missing, exempted with a
+// justified //knl:nokey, and opted out with a bare directive that must
+// be reported and not honored.
+package memokeypkg
+
+import (
+	"fix.example/fakememo"
+	"fix.example/fakexp"
+)
+
+// Conf is the tracked workload configuration (fixture MemoKeyTypes).
+type Conf struct {
+	Alpha int
+	Beta  int
+	// Workers only fans the points over host cores; every setting
+	// computes bit-identical results.
+	//knl:nokey worker count never changes measured values
+	Workers int
+	// Stale carries a bare directive: reported, not honored, so reading
+	// it in a compute path still demands a fold.
+	//knl:nokey
+	Stale int
+}
+
+// FoldKey folds only Alpha — deliberately not Beta or Stale, so call
+// sites must add what their computes read.
+func (c Conf) FoldKey(w *fakememo.KeyWriter) *fakememo.KeyWriter {
+	return w.Int(c.Alpha)
+}
+
+// Complete folds everything its compute reads (Workers is exempt): no
+// findings.
+func Complete(c Conf, cache *fakememo.Cache) []float64 {
+	key := c.FoldKey(fakememo.NewKey("complete")).Int(c.Beta).Key()
+	return fakexp.RunMemo(cache, key, 4, func(i int) float64 {
+		return float64(c.Alpha + c.Beta + c.Workers + i)
+	})
+}
+
+// MissingFold reads Beta in the compute closure but folds only Alpha:
+// one finding.
+func MissingFold(c Conf, cache *fakememo.Cache) []float64 {
+	key := c.FoldKey(fakememo.NewKey("missing")).Key()
+	return fakexp.RunMemo(cache, key, 4, func(i int) float64 {
+		return float64(c.Beta * i)
+	})
+}
+
+// Rebuilt grows the key across a loop: reaching definitions must merge
+// the pre-loop chain with the loop rebinding and still see the Beta fold
+// after the loop. Clean.
+func Rebuilt(c Conf, cache *fakememo.Cache, ns []int) []float64 {
+	kw := fakememo.NewKey("rebuilt").Int(c.Alpha)
+	for _, n := range ns {
+		kw = kw.Int(n)
+	}
+	kw = kw.Int(c.Beta)
+	return fakexp.RunMemo(cache, kw.Key(), len(ns), func(i int) float64 {
+		return float64(c.Alpha + c.Beta + ns[i])
+	})
+}
+
+// LookupStore is the enclosing-function pattern (no compute argument):
+// the whole function is the compute path. It reads Stale, whose bare
+// directive exempts nothing: one finding.
+func LookupStore(c Conf, cache *fakememo.Cache) float64 {
+	key := c.FoldKey(fakememo.NewKey("lookupstore")).Key()
+	if v, ok := fakememo.Lookup(cache, key); ok {
+		return v
+	}
+	v := float64(c.Alpha * c.Stale)
+	fakememo.Store(cache, key, v)
+	return v
+}

@@ -1,0 +1,54 @@
+// Package puritypkg exercises the purity analyzer: hook methods that
+// are pure, impure directly, impure only transitively, and impure only
+// inside a doomed (panic-only) block.
+package puritypkg
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// calls is package-level state; hooks must not touch it.
+var calls int
+
+// Trace is a miniature op trace with hook methods as purity roots.
+type Trace struct{ marks []float64 }
+
+// OnWaitGood appends to receiver state only: clean.
+func (t *Trace) OnWaitGood(d float64) {
+	t.marks = append(t.marks, d)
+}
+
+// OnWaitBad mutates a package-level counter, consults the OS
+// environment, and reaches the wall clock through stamp: three findings
+// here and two in stamp.
+func (t *Trace) OnWaitBad(d float64) {
+	calls++
+	if os.Getenv("PURITY_DEBUG") != "" {
+		d = 0
+	}
+	t.marks = append(t.marks, d+stamp())
+}
+
+// stamp is impure but only reachable through OnWaitBad: the findings in
+// its body carry OnWaitBad's root in the message.
+func stamp() float64 {
+	return float64(time.Now().UnixNano()) + rand.Float64()
+}
+
+// OnMarkGuarded may gather its last words in the overflow guard: the
+// block panics on every path out, so the os call inside it is exempt.
+func (t *Trace) OnMarkGuarded() {
+	if len(t.marks) > 1<<20 {
+		dump := os.Getenv("PURITY_DUMP")
+		panic("trace overflow " + dump)
+	}
+	t.marks = append(t.marks, 1)
+}
+
+// Cold is not on any hook path: free to read the clock.
+func Cold() float64 {
+	calls++
+	return float64(time.Now().Unix())
+}

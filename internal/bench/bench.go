@@ -50,6 +50,7 @@ type Options struct {
 	// points (each with its own machine) over host cores; <= 0 means
 	// GOMAXPROCS, 1 runs the points serially in index order. Results are
 	// bit-identical at every setting.
+	//knl:nokey worker-count equivalence is proven by TestParallelEquivalence
 	Parallel int
 
 	// ConvergeAfter, when > 0, lets the single-threaded measurement loops
@@ -64,6 +65,7 @@ type Options struct {
 	// simply never fires; combine with NoJitter to benefit. Windowed
 	// multi-threaded kernels (contention, congestion, STREAM, collectives)
 	// ignore the option: their iterations legitimately differ.
+	//knl:nokey convergence on/off equivalence is proven by TestConvergenceEquivalence
 	ConvergeAfter int
 	// NoJitter builds the measurement machines with JitterFrac = 0, making
 	// passes deterministic enough for ConvergeAfter to fire. Medians move
@@ -73,12 +75,14 @@ type Options struct {
 	// Memo, when non-nil, caches sweep results content-addressed by the
 	// full measurement input (machine parameters, seed, workload, options).
 	// A nil cache means every sweep simulates.
+	//knl:nokey the cache handle selects where results live, never their values
 	Memo *memo.Cache
 
 	// pool, when set, recycles machines across the measurement points of a
 	// sweep. The sweep drivers install one per worker (exp.RunPooled), so a
 	// pool is never shared between concurrent points; by the Machine.Reset
 	// contract the results stay bit-identical to unpooled runs.
+	//knl:nokey pooled-vs-fresh digest identity is proven by the exp pool tests
 	pool *exp.MachinePool
 }
 

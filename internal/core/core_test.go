@@ -1,3 +1,5 @@
+//lint:file-ignore floatcmp the model arithmetic under test is exact over these calibration constants; equality is the contract
+
 package core
 
 import (
@@ -254,12 +256,12 @@ func TestSortMCDRAMDoesNotHelp(t *testing.T) {
 	pM := DefaultSortParams(m, lines, 256, knl.MCDRAM)
 	d := m.SortCost(pD, true)
 	mc := m.SortCost(pM, true)
-	ratio := d / mc
+	ratio := d.Float() / mc.Float()
 	if ratio > 1.35 || ratio < 0.75 {
 		t.Errorf("MCDRAM speedup for sort = %.2fx, paper predicts ~1x (negligible)", ratio)
 	}
 	// Contrast: a pure triad-like stream at 256 threads WOULD benefit ~5x.
-	if m.AchievableBW(knl.MCDRAM, 256) < 4*m.AchievableBW(knl.DDR, 256) {
+	if m.AchievableBW(knl.MCDRAM, 256) < m.AchievableBW(knl.DDR, 256).Scale(4) {
 		t.Error("MCDRAM should beat DDR ~5x for saturated streams")
 	}
 }

@@ -1,3 +1,5 @@
+//lint:file-ignore floatcmp round-tripping a model through disk must reproduce every field bit-identically; equality is the contract
+
 package core
 
 import (
@@ -75,8 +77,8 @@ func TestReadModelRejectsGarbage(t *testing.T) {
 
 func TestCompareOrdersByDelta(t *testing.T) {
 	a, b := Default(), Default()
-	b.RR = a.RR * 2   // 50% delta
-	b.RL = a.RL * 1.1 // ~9% delta
+	b.RR = a.RR.Scale(2)   // 50% delta
+	b.RL = a.RL.Scale(1.1) // ~9% delta
 	deltas := Compare(a, b)
 	if deltas[0].Name != "RR" {
 		t.Errorf("largest delta should be RR, got %s", deltas[0].Name)

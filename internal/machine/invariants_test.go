@@ -222,9 +222,12 @@ func TestHybridDDRGoesThroughSideCache(t *testing.T) {
 	if m.Policy.HitRate() <= 0 {
 		t.Error("side cache saw no hits")
 	}
-	for name, v := range map[string]float64{"cold": cold, "warm": warm} {
-		if v < 145 || v > 200 {
-			t.Errorf("%s hybrid read = %v ns, want in [145,200]", name, v)
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{{"cold", cold}, {"warm", warm}} {
+		if c.v < 145 || c.v > 200 {
+			t.Errorf("%s hybrid read = %v ns, want in [145,200]", c.name, c.v)
 		}
 	}
 }

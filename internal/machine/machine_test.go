@@ -216,8 +216,9 @@ func TestCacheModeLatency(t *testing.T) {
 func TestContentionLinear(t *testing.T) {
 	// 1:N contention on one Modified line: T_C(N) ~= alpha + beta*N with
 	// beta ~ 34 ns (Table I) emerging from CHA + owner-port serialization.
+	counts := []int{1, 2, 4, 8, 16, 24, 32}
 	perN := map[int]float64{}
-	for _, n := range []int{1, 2, 4, 8, 16, 24, 32} {
+	for _, n := range counts {
 		m := noJitter(knl.DefaultConfig())
 		shared := m.Alloc.MustAlloc(knl.DDR, 0, 64)
 		m.Prime(shared, 0, cache.Modified)
@@ -240,9 +241,9 @@ func TestContentionLinear(t *testing.T) {
 	}
 	// Fit beta over the measured points.
 	var xs, ys []float64
-	for n, v := range perN {
+	for _, n := range counts {
 		xs = append(xs, float64(n))
-		ys = append(ys, v)
+		ys = append(ys, perN[n])
 	}
 	beta := (perN[32] - perN[8]) / 24
 	if beta < 20 || beta > 50 {

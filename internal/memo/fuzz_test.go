@@ -1,0 +1,88 @@
+package memo
+
+import "testing"
+
+// FuzzKeyWriter drives the fold-boundary ambiguities the memokey analyzer
+// trusts the encoding to rule out. The length prefixes on Str and Ints
+// are what keep Str("ab").Str("c") and Str("a").Str("bc") — identical
+// payload bytes, different fold boundaries — at different keys; the fuzzer
+// sweeps every split point of an arbitrary payload and demands all of
+// them, plus the unsplit fold, stay pairwise distinct. (The assertions
+// hold up to a 128-bit two-lane FNV collision, which the fuzzer cannot
+// realistically produce; what it can find is an encoding that yields
+// byte-identical fold streams for distinct inputs.)
+func FuzzKeyWriter(f *testing.F) {
+	f.Add("abc", []byte{1, 2, 3})
+	f.Add("", []byte{})
+	f.Add("ab", []byte{0})
+	f.Add("\x00\x00\x00\x00\x00\x00\x00\x00", []byte{8, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, s string, raw []byte) {
+		// Determinism first: the same fold program must reproduce its key.
+		whole := NewKey("fuzz").Str(s).Key()
+		if again := NewKey("fuzz").Str(s).Key(); again != whole {
+			t.Fatalf("Str(%q) is not deterministic: %v vs %v", s, whole, again)
+		}
+
+		// Str split ambiguity: every two-fold split of s must differ from
+		// the single fold and from every other split point.
+		seen := map[Key]int{}
+		for p := 0; p <= len(s); p++ {
+			k := NewKey("fuzz").Str(s[:p]).Str(s[p:]).Key()
+			if k == whole {
+				t.Fatalf("Str(%q).Str(%q) collides with Str(%q)", s[:p], s[p:], s)
+			}
+			if q, dup := seen[k]; dup {
+				t.Fatalf("splits %d and %d of %q fold to the same key", q, p, s)
+			}
+			seen[k] = p
+		}
+
+		// Ints length-prefix edges: same sweep over an int slice derived
+		// from the raw bytes, including negative values and zeros.
+		vs := make([]int, len(raw))
+		for i, b := range raw {
+			vs[i] = int(b) - 128
+		}
+		wholeInts := NewKey("fuzz").Ints(vs).Key()
+		seenInts := map[Key]int{}
+		for p := 0; p <= len(vs); p++ {
+			k := NewKey("fuzz").Ints(vs[:p]).Ints(vs[p:]).Key()
+			if k == wholeInts {
+				t.Fatalf("Ints(%v).Ints(%v) collides with Ints(%v)", vs[:p], vs[p:], vs)
+			}
+			if q, dup := seenInts[k]; dup {
+				t.Fatalf("splits %d and %d of %v fold to the same key", q, p, vs)
+			}
+			seenInts[k] = p
+		}
+
+		// A length-prefixed slice must not collide with folding its
+		// elements bare — otherwise Ints could silently alias a run of
+		// Int folds and the slice boundary would be lost.
+		if len(vs) > 0 {
+			bare := NewKey("fuzz")
+			for _, v := range vs {
+				bare = bare.Int(v)
+			}
+			if bare.Key() == wholeInts {
+				t.Fatalf("bare Int folds of %v collide with Ints(%v)", vs, vs)
+			}
+		}
+
+		// Canonical empties: nil and empty slices are the same declaration
+		// of "no elements" and must share a key.
+		if NewKey("fuzz").Ints(nil).Key() != NewKey("fuzz").Ints([]int{}).Key() {
+			t.Fatal("Ints(nil) and Ints([]) disagree")
+		}
+
+		// Fold order is part of the key: swapping two distinct elements
+		// must move it.
+		if len(vs) >= 2 && vs[0] != vs[1] {
+			a := NewKey("fuzz").Int(vs[0]).Int(vs[1]).Key()
+			b := NewKey("fuzz").Int(vs[1]).Int(vs[0]).Key()
+			if a == b {
+				t.Fatalf("swapping Int(%d) and Int(%d) does not change the key", vs[0], vs[1])
+			}
+		}
+	})
+}

@@ -263,9 +263,17 @@ func Store[T any](c *Cache, k Key, v T) {
 	if c == nil {
 		return
 	}
+	c.Put(k, encodeValue(v))
+}
+
+// encodeValue serializes a result for the cache. It is a purity root
+// (DESIGN.md §7): what goes into the content-addressed store must be a
+// pure function of the value, so the purity analyzer walks the call
+// graph from here and forbids time/rand/os and package-level writes.
+func encodeValue[T any](v T) []byte {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		panic(fmt.Sprintf("memo: encode: %v", err))
 	}
-	c.Put(k, buf.Bytes())
+	return buf.Bytes()
 }

@@ -126,7 +126,7 @@ func TestSimulateMCDRAMDoesNotHelp(t *testing.T) {
 	lines := 16384 // 1 MB
 	d := Simulate(cfg, DefaultSimParams(lines, 32, knl.DDR))
 	mc := Simulate(cfg, DefaultSimParams(lines, 32, knl.MCDRAM))
-	ratio := d / mc
+	ratio := d.Float() / mc.Float()
 	if ratio > 1.3 || ratio < 0.7 {
 		t.Errorf("MCDRAM sort speedup = %.2fx, paper reports negligible (~1x)", ratio)
 	}
@@ -180,8 +180,8 @@ func TestSimulatedMeasuredWithinModelBand(t *testing.T) {
 		sp := DefaultSimParams(lines, tc, knl.DDR)
 		measured := Simulate(cfg, sp)
 		mp := core.DefaultSortParams(model, lines, tc, knl.DDR)
-		lo := model.FullSortCost(mp, oh, true) * 0.4
-		hi := model.FullSortCost(mp, oh, false) * 2.5
+		lo := model.FullSortCost(mp, oh, true).Scale(0.4)
+		hi := model.FullSortCost(mp, oh, false).Scale(2.5)
 		if measured < lo || measured > hi {
 			t.Errorf("threads=%d: measured %.0f outside band [%.0f, %.0f]",
 				tc, measured, lo, hi)

@@ -167,7 +167,10 @@ func FitOverheadParallel(cfg knl.Config, model *core.Model, kind knl.MemKind,
 // uncached parallel fit.
 func FitOverheadMemo(cfg knl.Config, model *core.Model, kind knl.MemKind,
 	threadCounts []int, parallel int, c *memo.Cache) core.OverheadModel {
-	key := model.FoldKey(cfg.FoldKey(memo.NewKey("msort-fit-overhead"))).
+	// Simulate runs on machine.New's default protocol constants, so they
+	// are part of the content address (the memokey analyzer checks this).
+	key := machine.DefaultParams().FoldKey(
+		model.FoldKey(cfg.FoldKey(memo.NewKey("msort-fit-overhead")))).
 		Int(int(kind)).Ints(threadCounts).Key()
 	if v, ok := memo.Lookup[core.OverheadModel](c, key); ok {
 		return v
@@ -224,7 +227,8 @@ func Figure10Parallel(cfg knl.Config, model *core.Model, oh core.OverheadModel,
 func Figure10Memo(cfg knl.Config, model *core.Model, oh core.OverheadModel,
 	totalLines int, kind knl.MemKind, threadCounts []int, parallel int,
 	c *memo.Cache) []Figure10Point {
-	key := model.FoldKey(cfg.FoldKey(memo.NewKey("msort-figure10"))).
+	key := machine.DefaultParams().FoldKey(
+		model.FoldKey(cfg.FoldKey(memo.NewKey("msort-figure10")))).
 		Float(oh.Alpha.Float()).Float(oh.Beta.Float()).
 		Int(totalLines).Int(int(kind)).Ints(threadCounts).Key()
 	if v, ok := memo.Lookup[[]Figure10Point](c, key); ok {

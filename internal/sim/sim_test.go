@@ -69,7 +69,9 @@ func TestNegativeWaitPanics(t *testing.T) {
 		}()
 		p.Wait(-1)
 	})
-	env.Run()
+	if _, err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestSpawnFromProcess(t *testing.T) {
@@ -284,7 +286,10 @@ func TestDeterminism(t *testing.T) {
 				}
 			})
 		}
-		env.Run()
+		// The scenario deliberately strands one waiter past the final
+		// broadcast; Run reports that as a deadlock. Only the identical
+		// wakeup order across the two runs is under test.
+		_, _ = env.Run()
 		return log
 	}
 	a, b := run(), run()

@@ -1,3 +1,5 @@
+//lint:file-ignore floatcmp histogram counts and bin edges are exact small integers; equality is the contract
+
 package stats
 
 import (

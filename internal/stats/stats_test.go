@@ -1,3 +1,5 @@
+//lint:file-ignore floatcmp order statistics of exactly representable inputs are exact; equality is the contract
+
 package stats
 
 import (

@@ -60,7 +60,7 @@ func TestTunedBeatsStandardShapes(t *testing.T) {
 			"binary":   core.KAryTree(n, 2),
 			"binomial": core.BinomialTree(n),
 		} {
-			if c := m.BroadcastCost(tr); tuned > c+1e-9 {
+			if c := m.BroadcastCost(tr); tuned.Float() > c.Float()+1e-9 {
 				t.Errorf("n=%d: tuned (%v) worse than %s (%v)", n, tuned, name, c)
 			}
 		}
@@ -97,7 +97,7 @@ func TestBarrierOptimum(t *testing.T) {
 	// Must beat m=1 (classic dissemination) and m=63 (all-to-all) unless
 	// one of them is the optimum.
 	for _, mw := range []int{1, 2, 3, 7, 15, 63} {
-		if c := m.BarrierCost(64, mw); b.CostNs > c+1e-9 {
+		if c := m.BarrierCost(64, mw); b.CostNs.Float() > c.Float()+1e-9 {
 			t.Errorf("tuned barrier (m=%d, %v) worse than m=%d (%v)", b.M, b.CostNs, mw, c)
 		}
 	}
