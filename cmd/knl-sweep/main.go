@@ -20,6 +20,7 @@ import (
 	"knlcap/internal/cache"
 	"knlcap/internal/knl"
 	"knlcap/internal/memo"
+	"knlcap/internal/prof"
 	"knlcap/internal/report"
 )
 
@@ -35,7 +36,16 @@ func main() {
 	converge := flag.Int("converge", 0,
 		"stop deterministic measurement loops after N bit-identical passes and extrapolate (0 = exact; needs -nojitter to fire)")
 	nojitter := flag.Bool("nojitter", false, "disable the simulated timing jitter")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "knl-sweep:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	o := bench.DefaultOptions()
 	if *quick {

@@ -33,6 +33,7 @@ package bench
 import (
 	"math"
 
+	"knlcap/internal/knl"
 	"knlcap/internal/machine"
 	"knlcap/internal/memmode"
 	"knlcap/internal/sim"
@@ -52,7 +53,8 @@ const (
 // process delays the measured one, the elapsed time is no longer
 // reproducible from the trace and the self-check rejects the pass.
 type opTrace struct {
-	th    *machine.Thread
+	m     *machine.Machine
+	p     *sim.Proc
 	kinds []uint8
 	args  []float64
 	segs  []int // end index in kinds/args after each closed segment
@@ -68,21 +70,28 @@ type opTrace struct {
 // install starts observing th's process. The hooks must be removed before
 // the machine is reused (uninstall; Env.Reset and Machine.Reset also
 // clear them).
-func (t *opTrace) install(th *machine.Thread) {
-	t.th = th
-	th.M.Env.OnWait = t.onWait
-	th.M.OnChunkStart = t.onChunkStart
-	th.M.OnTopUp = t.onTopUp
+func (t *opTrace) install(th *machine.Thread) { t.installProc(th.M, th.P) }
+
+func (t *opTrace) uninstall(th *machine.Thread) { t.uninstallProc(th.M) }
+
+// installProc starts observing process p on m — the spawned-kernel form,
+// used when the measured process is a step kernel rather than a Thread.
+func (t *opTrace) installProc(m *machine.Machine, p *sim.Proc) {
+	t.m = m
+	t.p = p
+	m.Env.OnWait = t.onWait
+	m.OnChunkStart = t.onChunkStart
+	m.OnTopUp = t.onTopUp
 }
 
-func (t *opTrace) uninstall(th *machine.Thread) {
-	th.M.Env.OnWait = nil
-	th.M.OnChunkStart = nil
-	th.M.OnTopUp = nil
+func (t *opTrace) uninstallProc(m *machine.Machine) {
+	m.Env.OnWait = nil
+	m.OnChunkStart = nil
+	m.OnTopUp = nil
 }
 
 func (t *opTrace) onWait(p *sim.Proc, d sim.Time) {
-	if p != t.th.P {
+	if p != t.p {
 		return
 	}
 	if t.skipWait {
@@ -94,22 +103,22 @@ func (t *opTrace) onWait(p *sim.Proc, d sim.Time) {
 }
 
 func (t *opTrace) onChunkStart(p *sim.Proc) {
-	if p != t.th.P {
+	if p != t.p {
 		return
 	}
 	t.kinds = append(t.kinds, opMark)
 	t.args = append(t.args, 0)
-	t.markAt = t.th.M.Env.Now()
+	t.markAt = t.m.Env.Now()
 }
 
 func (t *opTrace) onTopUp(p *sim.Proc, lat float64) {
-	if p != t.th.P {
+	if p != t.p {
 		return
 	}
 	t.kinds = append(t.kinds, opTopUp)
 	t.args = append(t.args, lat)
 	// Same comparison the engine makes right after this hook.
-	t.skipWait = t.th.M.Env.Now()-t.markAt < lat
+	t.skipWait = t.m.Env.Now()-t.markAt < lat
 }
 
 func (t *opTrace) reset() {
@@ -310,44 +319,66 @@ func (cp *chaseProfile) replay(vt float64, perm []int, chaseLen, nl, visits int)
 	return vt
 }
 
-// chaseConverged is the gated chase body: exact simulated passes until k
-// consecutive passes agree, replayed passes after. The bench RNG keeps
-// drawing one permutation per pass either way, so the random stream — and
-// with it every subsequent draw — is identical to the legacy loop's.
-func chaseConverged(th *machine.Thread, b memmode.Buffer, o Options, prime func(),
-	rng *stats.RNG, perm []int, avgs *[]float64, k int) {
+// chaseConverged is the gated chase: exact simulated passes until k
+// consecutive passes agree, replayed passes after. The measurement runs as
+// a spawned chase kernel (a step process on the default engine); the gate
+// lives entirely in the host callbacks, which run at the same simulated
+// instants the old Thread-closure loop ran the same code. The bench RNG
+// keeps drawing one permutation per pass either way — including for
+// replayed passes — so the random stream, and with it every subsequent
+// draw, is identical to the ungated loop's.
+func chaseConverged(m *machine.Machine, place knl.Place, b memmode.Buffer, o Options,
+	prime func(), rng *stats.RNG, perm []int, avgs *[]float64, k int) {
 	nl := len(perm)
 	visits := o.ChaseLen / nl
 	var tr opTrace
-	tr.install(th)
-	defer tr.uninstall(th)
 	cur, prev := &chaseProfile{}, &chaseProfile{}
-	var prevVal float64
-	prevEnd := th.Now()
-	run := 0
+	var prevVal, start, vt, total float64
+	prevEnd := m.Env.Now()
+	run, a, p := 0, 0, 0
 	settled := false
-	var vt float64
-	for a := 0; a < o.Averages; a++ {
-		var total float64
-		for p := 0; p < o.Passes; p++ {
-			if settled {
+
+	// endPass closes one pass of the (Averages x Passes) accounting grid.
+	endPass := func() {
+		if p++; p == o.Passes {
+			*avgs = append(*avgs, total/float64(o.Passes))
+			total, p = 0, 0
+			a++
+		}
+	}
+
+	proc := m.SpawnChase(place, machine.ChaseOps{
+		B: b, Perm: perm, Len: o.ChaseLen,
+		NextPass: func() bool {
+			for {
+				if a >= o.Averages {
+					tr.uninstallProc(m)
+					return false
+				}
+				if settled {
+					// Extrapolate this pass from the settled profile on the
+					// virtual clock; no simulation happens.
+					rng.PermInto(perm)
+					s := vt
+					vt = prev.replay(vt, perm, o.ChaseLen, nl, visits)
+					total += (vt - s) / float64(o.ChaseLen)
+					endPass()
+					continue
+				}
+				prime()
 				rng.PermInto(perm)
-				s := vt
-				vt = prev.replay(vt, perm, o.ChaseLen, nl, visits)
-				total += (vt - s) / float64(o.ChaseLen)
-				continue
+				tr.reset()
+				start = m.Env.Now()
+				return true
 			}
-			prime()
-			rng.PermInto(perm)
-			tr.reset()
-			start := th.Now()
-			for i := 0; i < o.ChaseLen; i++ {
-				th.Load(b, perm[i%nl])
-				tr.mark()
-			}
-			end := th.Now()
-			val := (end - start) / float64(o.ChaseLen)
+		},
+		AccessDone: tr.mark,
+		PassDone: func(elapsed float64) {
+			end := m.Env.Now()
+			val := elapsed / float64(o.ChaseLen)
 			total += val
+			// start == prevEnd guards against prime consuming simulated
+			// time, which replay (which skips prime) could not reproduce.
 			ok := start == prevEnd && tr.selfCheck(start, end)
 			cur.build(&tr, perm, nl, visits)
 			switch {
@@ -364,7 +395,8 @@ func chaseConverged(th *machine.Thread, b memmode.Buffer, o Options, prime func(
 				settled = true
 				vt = end
 			}
-		}
-		*avgs = append(*avgs, total/float64(o.Passes))
-	}
+			endPass()
+		},
+	})
+	tr.installProc(m, proc)
 }

@@ -30,24 +30,32 @@ func chase(m *machine.Machine, core int, b memmode.Buffer, o Options,
 		// replayed extrapolation after (see converge.go). The gate needs
 		// every line visited equally often per pass, i.e. ChaseLen a
 		// multiple of the line count; otherwise the legacy loop runs.
-		m.Spawn(place, func(th *machine.Thread) {
-			chaseConverged(th, b, o, prime, rng, perm, &avgs, k)
-		})
+		chaseConverged(m, place, b, o, prime, rng, perm, &avgs, k)
 	} else {
-		m.Spawn(place, func(th *machine.Thread) {
-			for a := 0; a < o.Averages; a++ {
-				var total float64
-				for p := 0; p < o.Passes; p++ {
-					prime()
-					rng.PermInto(perm)
-					start := th.Now()
-					for i := 0; i < o.ChaseLen; i++ {
-						th.Load(b, perm[i%nl])
-					}
-					total += (th.Now() - start) / float64(o.ChaseLen)
+		// The kernel runs as a spawned chase — a step process on the default
+		// engine — with the host callbacks doing exactly what the old Thread
+		// closure did between passes: prime, draw the permutation, fold the
+		// per-pass latency into the running average.
+		a, p := 0, 0
+		var total float64
+		m.SpawnChase(place, machine.ChaseOps{
+			B: b, Perm: perm, Len: o.ChaseLen,
+			NextPass: func() bool {
+				if a >= o.Averages {
+					return false
 				}
-				avgs = append(avgs, total/float64(o.Passes))
-			}
+				prime()
+				rng.PermInto(perm)
+				return true
+			},
+			PassDone: func(elapsed float64) {
+				total += elapsed / float64(o.ChaseLen)
+				if p++; p == o.Passes {
+					avgs = append(avgs, total/float64(o.Passes))
+					total, p = 0, 0
+					a++
+				}
+			},
 		})
 	}
 	if _, err := m.Run(); err != nil {

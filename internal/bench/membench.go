@@ -156,6 +156,37 @@ func warmSideCache(m *machine.Machine, pools []threadBufs, k StreamKernel) {
 	}
 }
 
+// kernelOp builds the StreamOp for one kernel iteration, mirroring the
+// Thread wrappers' conventions: full buffers from line 0, lengths clipped
+// to the shortest operand, reads always vectorized.
+func kernelOp(k StreamKernel, pool threadBufs, pick int, nt bool) machine.StreamOp {
+	switch k {
+	case KernelCopy:
+		dst, src := pool.dst[pick], pool.src[pick]
+		n := dst.NumLines()
+		if s := src.NumLines(); s < n {
+			n = s
+		}
+		return machine.StreamOp{Kind: machine.StreamCopy, Dst: dst, Src: src, N: n, NT: nt}
+	case KernelRead:
+		src := pool.src[pick]
+		return machine.StreamOp{Kind: machine.StreamRead, Src: src, N: src.NumLines(), Vector: true}
+	case KernelWrite:
+		dst := pool.dst[pick]
+		return machine.StreamOp{Kind: machine.StreamWrite, Dst: dst, N: dst.NumLines(), NT: nt}
+	default: // KernelTriad
+		dst, b, c := pool.dst[pick], pool.src[pick], pool.src2[pick]
+		n := dst.NumLines()
+		if s := b.NumLines(); s < n {
+			n = s
+		}
+		if s := c.NumLines(); s < n {
+			n = s
+		}
+		return machine.StreamOp{Kind: machine.StreamTriad, Dst: dst, Src: b, Src2: c, N: n, NT: nt}
+	}
+}
+
 // MeasureMemBandwidth runs one memory-bandwidth configuration: `threads`
 // threads under `sched`, each running the kernel over randomly selected
 // buffers from its pool every iteration. It returns the median aggregate
@@ -189,19 +220,8 @@ func MeasureMemBandwidth(cfg knl.Config, o Options, k StreamKernel,
 			m.FlushBuffer(pools[r].dst[pick])
 		}
 	}
-	maxes := RunWindows(m, places, o, setup, func(th *machine.Thread, rank, iter int) {
-		pick := picks[iter][rank]
-		pool := pools[rank]
-		switch k {
-		case KernelCopy:
-			th.CopyStream(pool.dst[pick], pool.src[pick], nt)
-		case KernelRead:
-			th.ReadStream(pool.src[pick], true)
-		case KernelWrite:
-			th.WriteStream(pool.dst[pick], nt)
-		case KernelTriad:
-			th.TriadStream(pool.dst[pick], pool.src[pick], pool.src2[pick], nt)
-		}
+	maxes := RunStreamWindows(m, places, o, setup, func(rank, iter int) machine.StreamOp {
+		return kernelOp(k, pools[rank], picks[iter][rank], nt)
 	})
 	counted := float64(threads) * float64(o.StreamLines) * k.CountedBytesPerLine()
 	vals := make([]float64, len(maxes))
@@ -236,27 +256,21 @@ func MeasureStreamPeak(cfg knl.Config, o Options, k StreamKernel,
 	if iters < 3 {
 		iters = 3
 	}
-	for r, pl := range places {
+	for r := range places {
 		r := r
-		m.Spawn(pl, func(th *machine.Thread) {
-			for it := 0; it < iters; it++ {
-				pick := it % len(pools[r].src)
-				m.FlushBuffer(pools[r].src[pick])
-				m.FlushBuffer(pools[r].src2[pick])
-				switch k {
-				case KernelCopy:
-					th.CopyStream(pools[r].dst[pick], pools[r].src[pick], true)
-				case KernelRead:
-					th.ReadStream(pools[r].src[pick], true)
-				case KernelWrite:
-					th.WriteStream(pools[r].dst[pick], true)
-				case KernelTriad:
-					th.TriadStream(pools[r].dst[pick], pools[r].src[pick], pools[r].src2[pick], true)
+		it := 0
+		m.SpawnStreamTask(places[r], func(now float64) (machine.StreamOp, bool) {
+			if it >= iters {
+				if now > end {
+					end = now
 				}
+				return machine.StreamOp{}, false
 			}
-			if at := th.Now(); at > end {
-				end = at
-			}
+			pick := it % len(pools[r].src)
+			m.FlushBuffer(pools[r].src[pick])
+			m.FlushBuffer(pools[r].src2[pick])
+			it++
+			return kernelOp(k, pools[r], pick, true), true
 		})
 	}
 	if _, err := m.Run(); err != nil {

@@ -55,6 +55,69 @@ func RunWindows(m *machine.Machine, places []knl.Place, o Options,
 	return maxes
 }
 
+// RunStreamWindows is RunWindows for spawned stream kernels: each rank runs
+// a stream task — a step process on the default engine — whose per-iteration
+// work is the single StreamOp produced by opFor. The window accounting
+// (early arrival, rank-0 setup at the quiescent point, per-rank TSC skew,
+// per-iteration max over ranks) matches RunWindows instant-for-instant; the
+// phases below are the Thread loop's statements between blocking points.
+func RunStreamWindows(m *machine.Machine, places []knl.Place, o Options,
+	setup func(iter int),
+	opFor func(rank, iter int) machine.StreamOp) []float64 {
+
+	perIter := make([][]float64, o.Iterations)
+	for i := range perIter {
+		perIter[i] = make([]float64, len(places))
+	}
+	skews := make([]float64, len(places))
+	rng := stats.NewRNG(o.Seed ^ 0x77)
+	for i := range skews {
+		skews[i] = rng.Float64() * 10 // ns of TSC-alignment skew
+	}
+	for r := range places {
+		r := r
+		it := 0
+		phase := 0
+		var start float64
+		m.SpawnStreamTask(places[r], func(now float64) (machine.StreamOp, bool) {
+			for {
+				switch phase {
+				case 0: // arrive early at the next window boundary
+					if it >= o.Iterations {
+						return machine.StreamOp{}, false
+					}
+					phase = 1
+					return machine.StreamOp{Kind: machine.StreamSync,
+						At: float64(it+1)*o.WindowNs - 50}, true
+				case 1: // quiescent point: rank 0 runs the zero-cost setup
+					if r == 0 && setup != nil {
+						setup(it)
+					}
+					phase = 2
+					return machine.StreamOp{Kind: machine.StreamSync,
+						At: float64(it+1)*o.WindowNs + skews[r]}, true
+				case 2: // the timed kernel op
+					phase = 3
+					start = now
+					return opFor(r, it), true
+				default: // op complete: record and move to the next window
+					perIter[it][r] = now - start
+					it++
+					phase = 0
+				}
+			}
+		})
+	}
+	if _, err := m.Run(); err != nil {
+		panic(err)
+	}
+	maxes := make([]float64, o.Iterations)
+	for i, durs := range perIter {
+		maxes[i] = stats.Max(durs)
+	}
+	return maxes
+}
+
 // TSCResolutionNs is the measured resolution of the timestamp-counter read
 // the paper reports ("We measure a resolution of 10 nanoseconds in the
 // instruction that reads the TSC counter"); calibration readings are

@@ -1,0 +1,232 @@
+package machine
+
+import (
+	"fmt"
+
+	"knlcap/internal/knl"
+	"knlcap/internal/memmode"
+	"knlcap/internal/sim"
+)
+
+// This file exposes the two bench-kernel bodies — the pointer chase and the
+// stream-op task — as spawnable kernels. With Machine.Steps set (the
+// default) they run as stackless step processes: the whole measurement loop
+// advances inline from the scheduler with zero goroutine handoffs. With
+// Steps clear they run as ordinary goroutine processes over the exact same
+// state machines, which is what the A/B equivalence tests compare against.
+//
+// The kernels call back into host code (ChaseOps.NextPass, the stream
+// task's next function) at the same simulated instants the old
+// Thread-closure versions executed that code, so benchmark logic —
+// priming, RNG permutation draws, convergence gating, window accounting —
+// ports without re-ordering a single draw or event.
+
+// StreamOpKind enumerates the stream task operations.
+type StreamOpKind uint8
+
+const (
+	// StreamRead reads N lines of Src starting at SrcFrom.
+	StreamRead StreamOpKind = iota
+	// StreamWrite writes N lines of Dst starting at DstFrom.
+	StreamWrite
+	// StreamCopy copies N lines from Src@SrcFrom to Dst@DstFrom.
+	StreamCopy
+	// StreamTriad performs dst[i] = b[i] + s*c[i] over N lines of
+	// Src (b), Src2 (c) and Dst.
+	StreamTriad
+	// StreamSync waits until absolute time At (window synchronization);
+	// it is skipped when At is already past, like Thread.WaitUntil.
+	StreamSync
+)
+
+// StreamOp is one operation of a stream task.
+type StreamOp struct {
+	Kind    StreamOpKind
+	Dst     memmode.Buffer
+	Src     memmode.Buffer
+	Src2    memmode.Buffer
+	DstFrom int
+	SrcFrom int
+	N       int
+	NT      bool
+	Vector  bool
+	At      float64 // StreamSync target time
+}
+
+// streamTaskStep drives a sequence of stream ops as a step process.
+type streamTaskStep struct {
+	m      *Machine
+	core   int
+	next   func(now float64) (StreamOp, bool)
+	st     streamStep
+	active bool
+}
+
+func (t *streamTaskStep) Step(c *sim.StepCtx) {
+	for {
+		if t.active {
+			t.st.run(c)
+			if c.Blocked() {
+				return
+			}
+			if t.st.pc != stDone {
+				continue
+			}
+			t.active = false
+		}
+		op, ok := t.next(c.Now())
+		if !ok {
+			c.End()
+			return
+		}
+		if op.Kind == StreamSync {
+			if op.At > c.Now() {
+				c.WaitUntil(op.At)
+				return
+			}
+			continue
+		}
+		join := t.st.join // keep the flush join (and its Signal) across ops
+		t.st = streamStep{m: t.m, core: t.core, op: op, join: join}
+		t.active = true
+	}
+}
+
+// SpawnStreamTask starts a kernel pinned to place that executes the stream
+// ops produced by next, one at a time, until next reports no more work.
+// next runs at the simulated instant the previous op completed — exactly
+// where a Thread closure would compute its next call — so it may observe
+// clocks and update benchmark accounting. The returned process identity
+// can be used to filter observation hooks.
+func (m *Machine) SpawnStreamTask(place knl.Place, next func(now float64) (StreamOp, bool)) *sim.Proc {
+	if place.Core < 0 || place.Core >= m.NumCores() {
+		panic(fmt.Sprintf("machine: place core %d out of range", place.Core))
+	}
+	name := place.String()
+	if m.Steps {
+		//lint:ignore hotalloc one frame per spawned measurement kernel (the goroutine version paid a closure and a stack)
+		return m.Env.GoSteps(name, &streamTaskStep{m: m, core: place.Core, next: next})
+	}
+	core := place.Core
+	return m.Env.Go(name, func(p *sim.Proc) {
+		for {
+			op, ok := next(m.Env.Now())
+			if !ok {
+				return
+			}
+			if op.Kind == StreamSync {
+				if op.At > m.Env.Now() {
+					p.WaitUntil(op.At)
+				}
+				continue
+			}
+			m.runStreamOp(p, core, op)
+		}
+	})
+}
+
+// ChaseOps describes a pointer-chase kernel: passes of Len dependent
+// single-line loads over B, visiting lines in the permutation order Perm
+// (access i touches Perm[i%len(Perm)], so the caller may refill Perm
+// between passes). The callbacks run at the exact simulated instants the
+// old Thread-closure loop ran the same code:
+//
+//   - NextPass before each pass (prime the cache state, draw the next
+//     permutation); returning false ends the kernel.
+//   - AccessDone after each completed load (convergence-trace marks).
+//   - PassDone with the pass's elapsed simulated time.
+type ChaseOps struct {
+	B          memmode.Buffer
+	Perm       []int
+	Len        int
+	NextPass   func() bool
+	AccessDone func()
+	PassDone   func(elapsed float64)
+}
+
+// chaseStep drives ChaseOps as a step process, emitting the same per-load
+// OpRecord trace as Thread.Load.
+type chaseStep struct {
+	m         *Machine
+	core      int
+	o         ChaseOps
+	ld        loadStep
+	i         int
+	passStart float64
+	opStart   float64
+	running   bool
+}
+
+func (k *chaseStep) Step(c *sim.StepCtx) {
+	for {
+		if k.running {
+			k.ld.step(c)
+			if c.Blocked() {
+				return
+			}
+			if k.ld.pc != ldDone {
+				continue
+			}
+			k.running = false
+			k.m.trace(OpRecord{Start: k.opStart, End: c.Now(), Core: k.core,
+				Kind: OpLoad, Source: k.ld.cls.String(), Line: k.ld.l})
+			if k.o.AccessDone != nil {
+				k.o.AccessDone()
+			}
+			k.i++
+			if k.i < k.o.Len {
+				k.startAccess(c)
+				continue
+			}
+			if k.o.PassDone != nil {
+				k.o.PassDone(c.Now() - k.passStart)
+			}
+		}
+		if !k.o.NextPass() {
+			c.End()
+			return
+		}
+		k.i = 0
+		k.passStart = c.Now()
+		k.startAccess(c)
+	}
+}
+
+func (k *chaseStep) startAccess(c *sim.StepCtx) {
+	k.opStart = c.Now()
+	k.ld.init(k.m, k.core, k.o.B, k.o.B.Line(k.o.Perm[k.i%len(k.o.Perm)]))
+	k.running = true
+}
+
+// SpawnChase starts a pointer-chase kernel pinned to place and returns its
+// process identity (so observation hooks can filter on it).
+func (m *Machine) SpawnChase(place knl.Place, o ChaseOps) *sim.Proc {
+	if place.Core < 0 || place.Core >= m.NumCores() {
+		panic(fmt.Sprintf("machine: place core %d out of range", place.Core))
+	}
+	name := place.String()
+	if m.Steps {
+		//lint:ignore hotalloc one frame per spawned measurement kernel (the goroutine version paid a closure and a stack)
+		return m.Env.GoSteps(name, &chaseStep{m: m, core: place.Core, o: o})
+	}
+	core := place.Core
+	return m.Env.Go(name, func(p *sim.Proc) {
+		nl := len(o.Perm)
+		for o.NextPass() {
+			passStart := m.Env.Now()
+			for i := 0; i < o.Len; i++ {
+				opStart := m.Env.Now()
+				l := o.B.Line(o.Perm[i%nl])
+				cls := m.loadLine(p, core, o.B, l)
+				m.trace(OpRecord{Start: opStart, End: m.Env.Now(), Core: core,
+					Kind: OpLoad, Source: cls.String(), Line: l})
+				if o.AccessDone != nil {
+					o.AccessDone()
+				}
+			}
+			if o.PassDone != nil {
+				o.PassDone(m.Env.Now() - passStart)
+			}
+		}
+	})
+}

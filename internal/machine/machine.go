@@ -75,6 +75,14 @@ type Machine struct {
 	//knl:nostate observer hook, cleared on Reset and never read by the protocol
 	tracer Tracer
 
+	// Steps selects the stackless step-process execution mode for the hot
+	// protocol and stream paths (write-backs, stream kernels, spawned
+	// pointer-chase and stream tasks). The two modes are proven
+	// event-for-event identical by TestStepEquivalence; Steps exists so the
+	// A/B test and perf comparisons can flip back to goroutines.
+	//knl:nostate execution-strategy switch: both settings produce identical state
+	Steps bool
+
 	// OnChunkStart and OnTopUp observe the overlapped-chunk latency model
 	// of the stream kernels: chunkStart stamps where a chunk's latency
 	// bound is anchored, topUp reports the bound itself before waiting out
@@ -139,6 +147,7 @@ func NewSeededWithParams(cfg knl.Config, p Params, seed uint64) *Machine {
 		Alloc:  memmode.NewAllocator(cfg),
 		P:      p,
 		rng:    stats.NewRNG(seed ^ 0x6a17),
+		Steps:  true,
 	}
 	m.lines[knl.DDR].init(knl.DDR, cache.LineOf(memmode.DDRBase))
 	m.lines[knl.MCDRAM].init(knl.MCDRAM, cache.LineOf(memmode.MCDRAMBase))
@@ -189,6 +198,7 @@ func (m *Machine) Reset(p Params, seed uint64) {
 	m.lines[knl.MCDRAM].reset()
 	m.P = p
 	m.rng = stats.NewRNG(seed ^ 0x6a17)
+	m.Steps = true
 	m.tracer = nil
 	m.OnChunkStart = nil
 	m.OnTopUp = nil
@@ -209,18 +219,32 @@ func (m *Machine) jitter(d float64) float64 {
 	return d * (1 + m.P.JitterFrac*(2*m.rng.Float64()-1))
 }
 
+// Jitter implements sim.Jitterer, letting step-process micro-ops draw
+// their timing perturbation at op entry — the simulated instant a
+// goroutine would evaluate the duration argument — which keeps the RNG
+// stream bit-identical between the two execution modes.
+func (m *Machine) Jitter(d sim.Time) sim.Time { return m.jitter(d) }
+
 // meshHop routes a protocol request packet between two mesh positions:
 // ring occupancy through the link fabric plus the jittered traversal
 // latency. Data-return legs are folded into post-commit tails and charged
 // as latency only.
 func (m *Machine) meshHop(p *sim.Proc, a, b knl.Pos) {
+	x := sim.BlockingCtx(p)
+	m.meshHopOps(&x, a, b)
+}
+
+// meshHopOps is meshHop on a step context: the ring occupancies and the
+// traversal wait queue as micro-ops, with the latency jitter drawn when
+// the wait op is reached.
+func (m *Machine) meshHopOps(c *sim.StepCtx, a, b knl.Pos) {
 	if a == b {
 		return
 	}
 	if m.Fabric != nil {
-		m.Fabric.Occupy(p, a, b)
+		m.Fabric.OccupyCtx(c, a, b)
 	}
-	p.Wait(m.jitter(m.Router.Latency(a, b)))
+	c.WaitJit(m, m.Router.Latency(a, b))
 }
 
 // meshTileToTile is meshHop between two logical tiles.
@@ -229,6 +253,14 @@ func (m *Machine) meshTileToTile(p *sim.Proc, a, b int) {
 		return
 	}
 	m.meshHop(p, m.FP.TilePos(a), m.FP.TilePos(b))
+}
+
+// meshTileToTileOps is meshTileToTile on a step context.
+func (m *Machine) meshTileToTileOps(c *sim.StepCtx, a, b int) {
+	if a == b {
+		return
+	}
+	m.meshHopOps(c, m.FP.TilePos(a), m.FP.TilePos(b))
 }
 
 // placeOf resolves the memory placement of a line belonging to buffer b.
@@ -288,38 +320,39 @@ func rankState(s cache.State) int {
 // directory cleanup, L1 back-invalidation, and (for Modified victims) a
 // synchronous write-back charge on the memory channels.
 func (m *Machine) installL2(p *sim.Proc, tile int, l cache.Line, st cache.State) {
+	if v, dirty := m.installL2Tags(tile, l, st); dirty {
+		m.writeBack(p, v)
+	}
+}
+
+// installL2Tags is the zero-time half of installL2: tag-array insert,
+// directory bookkeeping and L1 back-invalidation of the victim. It reports
+// a Modified victim instead of writing it back, so a step process can
+// commit the tags at one juncture and drive the write-back's channel
+// occupancies as queued micro-ops.
+func (m *Machine) installL2Tags(tile int, l cache.Line, st cache.State) (victim cache.Line, dirty bool) {
 	v := m.tiles[tile].l2.Insert(l, st)
 	m.dirAdd(l, tile)
 	if v.State == cache.Invalid {
-		return
+		return 0, false
 	}
 	m.dirRemove(v.Line, tile)
 	for c := 0; c < knl.CoresPerTile; c++ {
 		m.cores[tile*knl.CoresPerTile+c].l1.Invalidate(v.Line)
 	}
-	if v.State == cache.Modified {
-		m.writeBack(p, v.Line)
-	}
+	return v.Line, v.State == cache.Modified
 }
 
 // writeBack charges the memory-system cost of writing a dirty line back.
 // In cache/hybrid mode for DDR lines, write-backs land in the MCDRAM cache
 // ("write-backs are made directly to MCDRAM", paper Section II-C).
 func (m *Machine) writeBack(p *sim.Proc, l cache.Line) {
-	place, ok := m.placeOfLine(l)
-	if !ok {
-		return // line outside any allocation (bench-internal scratch)
+	var wb wbState
+	wb.start(l)
+	c := sim.BlockingCtx(p)
+	for wb.pc != wbDone {
+		wb.step(m, &c)
 	}
-	if m.Policy.Enabled() && place.Kind == knl.DDR {
-		edc := m.Mapper.CacheEDC(place.Channel, l)
-		m.Mem.Channel(knl.MCDRAM, edc).ServeWrite(p, 1)
-		if !m.Policy.Probe(edc, l) {
-			m.fillSideCache(p, edc, l)
-		}
-		m.Policy.MarkDirty(edc, l)
-		return
-	}
-	m.Mem.Channel(place.Kind, place.Channel).ServeWrite(p, 1)
 }
 
 // fillSideCache installs a line in the MCDRAM side cache, flushing a dirty

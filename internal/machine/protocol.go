@@ -37,74 +37,20 @@ func (s srcClass) String() string {
 // loadLine performs a single-line read with full protocol latency for the
 // given core and returns where the data came from. It is the building block
 // of the pointer-chasing benchmarks and the first access of every stream
-// chunk.
+// chunk. The walk itself lives in loadStep (step_load.go); the CHA blocks
+// conflicting requests to the line until the forwarding tile has accepted
+// the transaction — this serialization (CHASvc + owner port) is what the
+// paper measures as the contention slope beta ~ 34 ns.
 //
 //knl:hotpath one simulated memory access; BenchmarkLoadLineHotPath pins 0 allocs/op
 func (m *Machine) loadLine(p *sim.Proc, core int, b memmode.Buffer, l cache.Line) srcClass {
-	tile := core / knl.CoresPerTile
-	cs := m.cores[core]
-
-	// 1. Local L1.
-	if cs.l1.Lookup(l).Readable() {
-		p.Wait(m.jitter(m.P.L1HitNs))
-		return srcL1
+	var k loadStep
+	k.init(m, core, b, l)
+	c := sim.BlockingCtx(p)
+	for k.pc != ldDone {
+		k.step(&c)
 	}
-
-	// 2. Same-tile L2 (including the sibling core's modified data).
-	// State commits before the timing wait so a concurrent invalidation
-	// cannot interleave between the two (the fuzzer's L1-inclusion check).
-	if st := m.tiles[tile].l2.Lookup(l); st.Readable() {
-		var cost float64
-		switch st {
-		case cache.Modified:
-			cost = m.P.L2HitMNs
-			// The sibling's L1 copy is downgraded by the snoop.
-			m.downgradeSiblingL1(tile, core, l)
-		case cache.Exclusive:
-			cost = m.P.L2HitENs
-		default:
-			cost = m.P.L2HitSFNs
-		}
-		cs.l1.Insert(l, cache.Shared)
-		p.Wait(m.jitter(cost))
-		return srcTile
-	}
-
-	// 3. Off-tile: walk through the home directory. The CHA blocks
-	// conflicting requests to the line until the forwarding tile has
-	// accepted the transaction — this serialization (CHASvc + owner port)
-	// is what the paper measures as the contention slope beta ~ 34 ns.
-	p.Wait(m.jitter(m.P.L2MissDetectNs))
-	place := m.placeOf(b, l)
-	home := place.HomeTile
-	m.meshTileToTile(p, tile, home)
-	cha := m.tiles[home].cha
-	cha.Acquire(p)
-	p.Wait(m.jitter(m.P.CHASvcNs))
-
-	if fwd, st, ok := m.forwarder(l); ok {
-		tail := m.forwardGrant(p, tile, home, fwd, st, l)
-		m.installL2(p, tile, l, cache.Forward)
-		cs.l1.Insert(l, cache.Forward)
-		cha.Release()
-		p.Wait(tail)
-		return srcRemote
-	}
-
-	// 4. Memory. The directory stays held until the new state is
-	// installed (the transaction commit); the device latency and data
-	// return are paid after the release.
-	p.Wait(m.jitter(m.P.DirMissNs))
-	tail := m.memReadPorts(p, home, tile, place, l)
-	newSt := cache.Exclusive
-	if m.owners(l) != 0 {
-		newSt = cache.Forward // stale sharers exist; we become the forwarder
-	}
-	m.installL2(p, tile, l, newSt)
-	cs.l1.Insert(l, newSt)
-	cha.Release()
-	p.Wait(tail + m.jitter(m.P.DeliverNs))
-	return srcMem
+	return k.cls
 }
 
 // forwardGrant performs the committed half of a cache-to-cache transfer
@@ -145,6 +91,13 @@ func (m *Machine) forwardGrant(p *sim.Proc, reqTile, home, fwd int, st cache.Sta
 // delaying the requesting thread (the data return and the write-back travel
 // independently).
 func (m *Machine) asyncWriteBack(l cache.Line) {
+	if m.Steps {
+		//lint:ignore hotalloc spawning the posted-write-back process is the allocation; only dirty-forward misses take this path (BenchmarkLoadLineHotPath stays at 0 allocs/op)
+		w := &wbStep{m: m}
+		w.wb.start(l)
+		m.Env.GoSteps("wb", w)
+		return
+	}
 	//lint:ignore hotalloc spawning the posted-write-back process is the allocation; only dirty-forward misses take this path (BenchmarkLoadLineHotPath stays at 0 allocs/op)
 	m.Env.Go("wb", func(p *sim.Proc) { m.writeBack(p, l) })
 }

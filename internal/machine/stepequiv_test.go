@@ -1,0 +1,144 @@
+package machine
+
+import (
+	"testing"
+
+	"knlcap/internal/knl"
+	"knlcap/internal/memmode"
+	"knlcap/internal/stats"
+)
+
+// digestWorkloadMode is digestWorkload with an explicit execution strategy:
+// step processes (the default) or goroutine processes for every spawnable
+// flow (posted write-backs, stream flush helpers, kernels).
+func digestWorkloadMode(t *testing.T, cfg knl.Config, seed uint64, steps bool) (digest, events uint64, end float64) {
+	t.Helper()
+	m := NewWithParams(cfg, DefaultParams())
+	m.Steps = steps
+	return runDigestOps(t, m, seed)
+}
+
+// TestStepGoroutineEquivalence runs the seeded mixed workload on every
+// cluster x memory mode twice — once on the stackless step-process engine
+// and once on the goroutine engine — and asserts bit-identical state
+// digests, event counts, and end times. The two strategies share one event
+// heap, one seq counter, and one RNG stream, so any divergence is a bug in
+// a ported state machine, not scheduling noise.
+func TestStepGoroutineEquivalence(t *testing.T) {
+	for _, mm := range []knl.MemoryMode{knl.Flat, knl.CacheMode, knl.Hybrid} {
+		for _, cfg := range knl.AllConfigs(mm) {
+			dS, eS, tS := digestWorkloadMode(t, cfg, 20260806, true)
+			dG, eG, tG := digestWorkloadMode(t, cfg, 20260806, false)
+			if dS != dG {
+				t.Errorf("%s: step digest %#016x != goroutine digest %#016x", cfg.Name(), dS, dG)
+			}
+			if eS != eG {
+				t.Errorf("%s: step events %d != goroutine events %d", cfg.Name(), eS, eG)
+			}
+			if tS != tG {
+				t.Errorf("%s: step end %v != goroutine end %v", cfg.Name(), tS, tG)
+			}
+		}
+	}
+}
+
+// kernelWorkload drives the spawnable bench kernels — a pointer chase and a
+// stream task with copy/triad ops and a window sync — under the given
+// execution strategy and returns the digest triple plus the measurements
+// the host callbacks observed (pass times, op times). The callbacks run at
+// simulated instants, so they too must be bit-identical across strategies.
+func kernelWorkload(t *testing.T, cfg knl.Config, steps bool) (digest uint64, events uint64, end float64, obs []float64) {
+	t.Helper()
+	m := NewWithParams(cfg, DefaultParams())
+	m.Steps = steps
+
+	chaseBuf := m.Alloc.MustAlloc(knl.DDR, 0, 32*knl.LineSize)
+	var a, b, c [2]memmode.Buffer
+	for r := 0; r < 2; r++ {
+		a[r] = m.Alloc.MustAlloc(knl.DDR, 0, 16*knl.LineSize)
+		b[r] = m.Alloc.MustAlloc(knl.DDR, 0, 16*knl.LineSize)
+		c[r] = m.Alloc.MustAlloc(knl.DDR, 0, 16*knl.LineSize)
+	}
+
+	rng := stats.NewRNG(7)
+	perm := make([]int, chaseBuf.NumLines())
+	pass := 0
+	m.SpawnChase(place(1), ChaseOps{
+		B:    chaseBuf,
+		Perm: perm,
+		Len:  2 * len(perm),
+		NextPass: func() bool {
+			if pass >= 3 {
+				return false
+			}
+			pass++
+			rng.PermInto(perm)
+			return true
+		},
+		PassDone: func(elapsed float64) { obs = append(obs, elapsed) },
+	})
+
+	for r := 0; r < 2; r++ {
+		r := r
+		it := 0
+		var start float64
+		phase := 0
+		m.SpawnStreamTask(place(8+8*r), func(now float64) (StreamOp, bool) {
+			switch phase {
+			case 0:
+				phase = 1
+				return StreamOp{Kind: StreamSync, At: 100}, true
+			case 1:
+				if it >= 3 {
+					return StreamOp{}, false
+				}
+				phase = 2
+				start = now
+				switch it % 3 {
+				case 0:
+					return StreamOp{Kind: StreamCopy, Dst: a[r], Src: b[r], N: 16, NT: it == 0}, true
+				case 1:
+					return StreamOp{Kind: StreamTriad, Dst: a[r], Src: b[r], Src2: c[r], N: 16}, true
+				default:
+					return StreamOp{Kind: StreamWrite, Dst: b[r], N: 16, NT: true}, true
+				}
+			default:
+				obs = append(obs, now-start)
+				it++
+				phase = 1
+				return StreamOp{Kind: StreamSync, At: now}, true // already-past sync is a no-op
+			}
+		})
+	}
+
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("kernel workload (%s, steps=%v): %v", cfg.Name(), steps, err)
+	}
+	return m.StateDigest(), m.Env.Seq(), m.Env.Now(), obs
+}
+
+// TestKernelStepGoroutineEquivalence checks the spawned chase and stream
+// kernels produce identical state and identical host-visible measurements
+// under both execution strategies.
+func TestKernelStepGoroutineEquivalence(t *testing.T) {
+	for _, cfg := range []knl.Config{
+		knl.DefaultConfig(),
+		knl.DefaultConfig().WithModes(knl.Quadrant, knl.CacheMode),
+		knl.DefaultConfig().WithModes(knl.SNC4, knl.Hybrid),
+	} {
+		dS, eS, tS, oS := kernelWorkload(t, cfg, true)
+		dG, eG, tG, oG := kernelWorkload(t, cfg, false)
+		if dS != dG || eS != eG || tS != tG {
+			t.Errorf("%s: step (%#016x, %d, %v) != goroutine (%#016x, %d, %v)",
+				cfg.Name(), dS, eS, tS, dG, eG, tG)
+		}
+		if len(oS) != len(oG) {
+			t.Fatalf("%s: observation counts differ: %d vs %d", cfg.Name(), len(oS), len(oG))
+		}
+		for i := range oS {
+			if oS[i] != oG[i] {
+				t.Errorf("%s: observation %d differs: %v vs %v", cfg.Name(), i, oS[i], oG[i])
+			}
+		}
+	}
+}

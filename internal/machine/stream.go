@@ -36,82 +36,6 @@ type pending struct {
 	nAsync int32
 }
 
-// flush serves the accumulated lines. Per-channel batches are issued as
-// concurrent helper processes and joined, so a chunk's traffic queues at all
-// of its channels simultaneously (no convoy across channels, and reads
-// overlap writes on full-duplex ports). Async write-backs are fired and
-// forgotten. Iteration is kind-major then channel-ascending — the total
-// order the former map version sorted its keys into.
-func (pd *pending) flush(m *Machine, p *sim.Proc) {
-	type job struct {
-		kind  knl.MemKind
-		idx   int
-		n     int
-		write bool
-	}
-	var jobs [2 * 2 * maxChans]job
-	nj := 0
-	for k := range pd.reads {
-		for ch := range pd.reads[k] {
-			if n := pd.reads[k][ch]; n != 0 {
-				jobs[nj] = job{knl.MemKind(k), ch, int(n), false}
-				nj++
-				pd.reads[k][ch] = 0
-			}
-		}
-	}
-	for k := range pd.writes {
-		for ch := range pd.writes[k] {
-			if n := pd.writes[k][ch]; n != 0 {
-				jobs[nj] = job{knl.MemKind(k), ch, int(n), true}
-				nj++
-				pd.writes[k][ch] = 0
-			}
-		}
-	}
-	if pd.nAsync != 0 {
-		async := pd.async
-		m.Env.Go("wb", func(wp *sim.Proc) {
-			for k := range async {
-				for ch := range async[k] {
-					if n := async[k][ch]; n != 0 {
-						m.Mem.Channel(knl.MemKind(k), ch).ServeWrite(wp, int(n))
-					}
-				}
-			}
-		})
-		pd.async = [2][maxChans]int32{}
-		pd.nAsync = 0
-	}
-	serve := func(wp *sim.Proc, j job) {
-		ch := m.Mem.Channel(j.kind, j.idx)
-		if j.write {
-			ch.ServeWrite(wp, j.n)
-		} else {
-			ch.ServeRead(wp, j.n)
-		}
-	}
-	switch nj {
-	case 0:
-	case 1:
-		serve(p, jobs[0])
-	default:
-		done := sim.NewSignal(m.Env)
-		remaining := nj
-		for ji := 0; ji < nj; ji++ {
-			j := jobs[ji]
-			m.Env.Go("mem", func(wp *sim.Proc) {
-				serve(wp, j)
-				remaining--
-				if remaining == 0 {
-					done.Broadcast()
-				}
-			})
-		}
-		done.Wait(p)
-	}
-}
-
 // pendWriteBack books an asynchronous dirty write-back of line l.
 func (m *Machine) pendWriteBack(pd *pending, l cache.Line) {
 	place, ok := m.placeOfLine(l)
@@ -252,93 +176,6 @@ func (m *Machine) loadLatencyEstimate(core int, b memmode.Buffer, l cache.Line) 
 	}
 }
 
-// serialRead charges the non-overlappable cost of one pipelined line read.
-func (m *Machine) serialRead(p *sim.Proc, core int, b memmode.Buffer, l cache.Line, pd *pending) {
-	tile := core / knl.CoresPerTile
-	cs := m.cores[core]
-	if cs.l1.Lookup(l).Readable() {
-		cs.issue.Use(p, m.P.L1VecNs)
-		return
-	}
-	if st := m.tiles[tile].l2.Lookup(l); st.Readable() {
-		svc := m.P.OwnerPortSvcNs
-		if st == cache.Modified {
-			svc = m.P.OwnerPortSvcMNs
-			m.downgradeSiblingL1(tile, core, l)
-		}
-		// Bookkeeping commits before the port wait so concurrent
-		// single-line transactions never observe half-applied state.
-		cs.l1.Insert(l, cache.Shared)
-		m.tiles[tile].port.Use(p, svc)
-		return
-	}
-	if fwd, st, ok := m.forwarder(l); ok {
-		svc := m.P.OwnerPortSvcNs
-		if st == cache.Modified {
-			svc = m.P.OwnerPortSvcMNs
-		}
-		m.tiles[fwd].l2.SetState(l, cache.Shared)
-		if st == cache.Modified {
-			m.pendWriteBack(pd, l)
-		}
-		m.installL2(p, tile, l, cache.Forward)
-		cs.l1.Insert(l, cache.Forward)
-		m.tiles[fwd].port.Use(p, svc)
-		return
-	}
-	m.pendMemRead(pd, b, l)
-	newSt := cache.Exclusive
-	if m.owners(l) != 0 {
-		newSt = cache.Forward
-	}
-	m.installL2(p, tile, l, newSt)
-	cs.l1.Insert(l, newSt)
-}
-
-// serialWrite charges the non-overlappable cost of one pipelined cached
-// (write-allocate) store.
-func (m *Machine) serialWrite(p *sim.Proc, core int, b memmode.Buffer, l cache.Line, pd *pending) {
-	tile := core / knl.CoresPerTile
-	cs := m.cores[core]
-	defer m.notify(l)
-	if cs.l1.Lookup(l).Writable() {
-		cs.l1.SetState(l, cache.Modified)
-		m.tiles[tile].l2.SetState(l, cache.Modified)
-		cs.issue.Use(p, m.P.StoreSerialNs)
-		return
-	}
-	if m.tiles[tile].l2.Lookup(l).Writable() {
-		m.tiles[tile].l2.SetState(l, cache.Modified)
-		m.invalidateTileL1s(tile, l)
-		cs.l1.Insert(l, cache.Modified)
-		// Pipelined stores into the shared L2 ride the half-line write port;
-		// the occupancy is far below the read-forward service.
-		m.tiles[tile].port.Use(p, m.P.StoreSerialNs)
-		return
-	}
-	// RFO in a stream: fetch-for-ownership batched on the channels.
-	if owners := m.owners(l) &^ (1 << uint(tile)); owners != 0 {
-		m.invalidateOthers(tile, l)
-	} else {
-		m.pendMemRead(pd, b, l)
-	}
-	m.installL2(p, tile, l, cache.Modified)
-	m.invalidateTileL1s(tile, l)
-	cs.l1.Insert(l, cache.Modified)
-	p.Wait(m.P.StoreSerialNs)
-}
-
-// serialWriteNT charges one pipelined non-temporal store (invalidate any
-// copies, book the memory write; the store is posted).
-func (m *Machine) serialWriteNT(p *sim.Proc, core int, b memmode.Buffer, l cache.Line, pd *pending) {
-	defer m.notify(l)
-	if m.owners(l) != 0 {
-		m.invalidateOthers(-1, l)
-	}
-	m.pendMemWrite(pd, b, l)
-	p.Wait(m.P.StorePostNs)
-}
-
 // mlpFor picks the chunk depth from the leading line's source class.
 func (m *Machine) mlpFor(cls srcClass, vector, copyLike bool) int {
 	switch cls {
@@ -370,39 +207,9 @@ func (m *Machine) chunkStart(p *sim.Proc) float64 {
 	return m.Env.Now()
 }
 
-// topUp ensures the chunk took at least its latency bound. The observer is
-// notified of the bound unconditionally — whether the remainder wait fires
-// is a clock comparison the replay must re-make on its own clock.
-func (m *Machine) topUp(p *sim.Proc, start, lat float64) {
-	if m.OnTopUp != nil {
-		m.OnTopUp(p, lat)
-	}
-	if el := m.Env.Now() - start; el < lat {
-		p.Wait(m.jitter(lat - el))
-	}
-}
-
 // streamRead reads n lines of b starting at line index from.
 func (m *Machine) streamRead(p *sim.Proc, core int, b memmode.Buffer, from, n int, vector bool) {
-	end := from + n
-	i := from
-	var pd pending
-	for i < end {
-		first := b.Line(i)
-		cls := m.classify(core, first)
-		lat := m.loadLatencyEstimate(core, b, first)
-		chunkEnd := i + m.mlpFor(cls, vector, false)
-		if chunkEnd > end {
-			chunkEnd = end
-		}
-		start := m.chunkStart(p)
-		for j := i; j < chunkEnd; j++ {
-			m.serialRead(p, core, b, b.Line(j), &pd)
-		}
-		pd.flush(m, p)
-		m.topUp(p, start, lat)
-		i = chunkEnd
-	}
+	m.runStreamOp(p, core, StreamOp{Kind: StreamRead, Src: b, SrcFrom: from, N: n, Vector: vector})
 }
 
 // streamWrite writes n lines of b starting at from. NT stores bypass the
@@ -410,36 +217,7 @@ func (m *Machine) streamRead(p *sim.Proc, core int, b memmode.Buffer, from, n in
 // eventual write-back), which is why the paper needs NT hints to approach
 // peak bandwidth.
 func (m *Machine) streamWrite(p *sim.Proc, core int, b memmode.Buffer, from, n int, nt bool) {
-	end := from + n
-	i := from
-	var pd pending
-	for i < end {
-		chunkEnd := i + m.P.MLPMem
-		if chunkEnd > end {
-			chunkEnd = end
-		}
-		// NT chunks retire once the write-combining buffers drain; cached
-		// (write-allocate) chunks cannot retire before the RFO fetch of
-		// their lines returns — the reason the paper needs NT hints to
-		// approach peak.
-		lat := m.writeDrainLatency(b)
-		if !nt {
-			if rfo := m.loadLatencyEstimate(core, b, b.Line(i)); rfo > lat {
-				lat = rfo
-			}
-		}
-		start := m.chunkStart(p)
-		for j := i; j < chunkEnd; j++ {
-			if nt {
-				m.serialWriteNT(p, core, b, b.Line(j), &pd)
-			} else {
-				m.serialWrite(p, core, b, b.Line(j), &pd)
-			}
-		}
-		pd.flush(m, p)
-		m.topUp(p, start, lat)
-		i = chunkEnd
-	}
+	m.runStreamOp(p, core, StreamOp{Kind: StreamWrite, Dst: b, DstFrom: from, N: n, NT: nt})
 }
 
 func (m *Machine) writeDrainLatency(b memmode.Buffer) float64 {
@@ -458,59 +236,11 @@ func (m *Machine) writeDrainLatency(b memmode.Buffer) float64 {
 
 // streamCopy copies n lines from src (starting srcFrom) to dst (dstFrom).
 func (m *Machine) streamCopy(p *sim.Proc, core int, dst, src memmode.Buffer, dstFrom, srcFrom, n int, nt bool) {
-	i := 0
-	var pd pending
-	for i < n {
-		first := src.Line(srcFrom + i)
-		cls := m.classify(core, first)
-		lat := m.loadLatencyEstimate(core, src, first)
-		chunk := m.mlpFor(cls, true, true)
-		if i+chunk > n {
-			chunk = n - i
-		}
-		start := m.chunkStart(p)
-		for j := 0; j < chunk; j++ {
-			m.serialRead(p, core, src, src.Line(srcFrom+i+j), &pd)
-		}
-		for j := 0; j < chunk; j++ {
-			if nt {
-				m.serialWriteNT(p, core, dst, dst.Line(dstFrom+i+j), &pd)
-			} else {
-				m.serialWrite(p, core, dst, dst.Line(dstFrom+i+j), &pd)
-			}
-		}
-		pd.flush(m, p)
-		m.topUp(p, start, lat)
-		i += chunk
-	}
+	m.runStreamOp(p, core, StreamOp{Kind: StreamCopy, Dst: dst, Src: src,
+		DstFrom: dstFrom, SrcFrom: srcFrom, N: n, NT: nt})
 }
 
 // streamTriad performs dst[i] = b[i] + s*c[i] over n lines of each operand.
 func (m *Machine) streamTriad(p *sim.Proc, core int, dst, b, c memmode.Buffer, n int, nt bool) {
-	i := 0
-	var pd pending
-	for i < n {
-		first := b.Line(i)
-		cls := m.classify(core, first)
-		lat := m.loadLatencyEstimate(core, b, first)
-		chunk := m.mlpFor(cls, true, true)
-		if i+chunk > n {
-			chunk = n - i
-		}
-		start := m.chunkStart(p)
-		for j := 0; j < chunk; j++ {
-			m.serialRead(p, core, b, b.Line(i+j), &pd)
-			m.serialRead(p, core, c, c.Line(i+j), &pd)
-		}
-		for j := 0; j < chunk; j++ {
-			if nt {
-				m.serialWriteNT(p, core, dst, dst.Line(i+j), &pd)
-			} else {
-				m.serialWrite(p, core, dst, dst.Line(i+j), &pd)
-			}
-		}
-		pd.flush(m, p)
-		m.topUp(p, start, lat)
-		i += chunk
-	}
+	m.runStreamOp(p, core, StreamOp{Kind: StreamTriad, Dst: dst, Src: b, Src2: c, N: n, NT: nt})
 }

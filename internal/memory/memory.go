@@ -184,22 +184,38 @@ func (c *Channel) DeviceLatencyNs() float64 { return c.params.DeviceLatencyNs }
 // The caller pays DeviceLatencyNs separately (it pipelines with other
 // requests; port time does not).
 func (c *Channel) ServeRead(p *sim.Proc, n int) {
+	x := sim.BlockingCtx(p)
+	c.ServeReadCtx(&x, n)
+}
+
+// ServeReadCtx is ServeRead on a step context: a step process queues the
+// two port occupancies as micro-ops, a blocking context serves them
+// inline. The line counter moves when the serve is issued — counters feed
+// post-run reporting and the digest at quiescent points only, so issue
+// time vs completion time is unobservable.
+func (c *Channel) ServeReadCtx(x *sim.StepCtx, n int) {
 	if n <= 0 {
 		return
 	}
 	c.linesRead += uint64(n)
-	c.cmd.Use(p, c.params.CmdSvcNs*float64(n))
-	c.read.Use(p, c.params.ReadSvcNs*float64(n))
+	x.Use(c.cmd, c.params.CmdSvcNs*float64(n))
+	x.Use(c.read, c.params.ReadSvcNs*float64(n))
 }
 
 // ServeWrite occupies the command and write ports for n lines.
 func (c *Channel) ServeWrite(p *sim.Proc, n int) {
+	x := sim.BlockingCtx(p)
+	c.ServeWriteCtx(&x, n)
+}
+
+// ServeWriteCtx is ServeWrite on a step context (see ServeReadCtx).
+func (c *Channel) ServeWriteCtx(x *sim.StepCtx, n int) {
 	if n <= 0 {
 		return
 	}
 	c.linesWritten += uint64(n)
-	c.cmd.Use(p, c.params.CmdSvcNs*float64(n))
-	c.write.Use(p, c.params.WriteSvcNs*float64(n))
+	x.Use(c.cmd, c.params.CmdSvcNs*float64(n))
+	x.Use(c.write, c.params.WriteSvcNs*float64(n))
 }
 
 // LinesRead returns the cumulative number of lines read from the channel.

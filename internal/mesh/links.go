@@ -76,6 +76,13 @@ func ringIndexY(y int) int { return y + 1 }
 // caller's concern; this models only the ring occupancy that congestion
 // would come from.
 func (f *LinkFabric) Occupy(p *sim.Proc, a, b knl.Pos) {
+	x := sim.BlockingCtx(p)
+	f.OccupyCtx(&x, a, b)
+}
+
+// OccupyCtx is Occupy on a step context: a step process queues the ring
+// occupancies as micro-ops, a blocking context holds them inline.
+func (f *LinkFabric) OccupyCtx(x *sim.StepCtx, a, b knl.Pos) {
 	if a == b {
 		return
 	}
@@ -86,7 +93,7 @@ func (f *LinkFabric) Occupy(p *sim.Proc, a, b knl.Pos) {
 			dir = 1
 			dy = -dy
 		}
-		f.rings[1][clampCol(a.X)][dir].Use(p, f.FlitNs*float64(dy))
+		x.Use(f.rings[1][clampCol(a.X)][dir], f.FlitNs*float64(dy))
 	}
 	// X leg on row b.Y.
 	if dx := b.X - a.X; dx != 0 {
@@ -95,7 +102,7 @@ func (f *LinkFabric) Occupy(p *sim.Proc, a, b knl.Pos) {
 			dir = 1
 			dx = -dx
 		}
-		f.rings[0][ringIndexY(b.Y)][dir].Use(p, f.FlitNs*float64(dx))
+		x.Use(f.rings[0][ringIndexY(b.Y)][dir], f.FlitNs*float64(dx))
 	}
 }
 

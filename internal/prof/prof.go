@@ -1,0 +1,54 @@
+// Package prof wires the stdlib runtime/pprof profilers behind the
+// -cpuprofile/-memprofile flags of the measurement binaries. The hot-path
+// work of this repo — the simulator's event loop and step processes — runs
+// on the host CPU, so an ordinary CPU profile of a sweep is exactly a
+// profile of the simulated machine's bottlenecks.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file paths and
+// returns a stop function that must run before the process exits: it ends
+// the CPU profile and, when requested, forces a GC and writes the
+// allocation profile. Both paths empty yields a no-op stop. On any error
+// nothing is left running and the stop function is nil.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err = pprof.StartCPUProfile(cpuFile); err != nil {
+			_ = cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if cerr := cpuFile.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "prof: cpu profile:", cerr)
+			}
+		}
+		if memPath != "" {
+			f, ferr := os.Create(memPath)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "prof: mem profile:", ferr)
+				return
+			}
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if werr := pprof.Lookup("allocs").WriteTo(f, 0); werr != nil {
+				fmt.Fprintln(os.Stderr, "prof: mem profile:", werr)
+			}
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "prof: mem profile:", cerr)
+			}
+		}
+	}, nil
+}

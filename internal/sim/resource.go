@@ -40,20 +40,34 @@ func NewResource(env *Env, name string, capacity int) *Resource {
 // Name returns the resource name.
 func (r *Resource) Name() string { return r.name }
 
-// Acquire obtains one slot, blocking the calling process in FIFO order while
-// the resource is full.
-func (r *Resource) Acquire(p *Proc) {
+// acquireOrPark takes a slot when one is free, or queues p as a FIFO waiter
+// and accounts it as blocked. It reports whether the slot was obtained; on
+// a false return, Release will later transfer the slot and reschedule p.
+// Shared by both process kinds: a goroutine process parks its goroutine
+// afterwards, a step process records the pending op and returns to the
+// scheduler (see step.go).
+func (r *Resource) acquireOrPark(p *Proc) bool {
 	r.acquires++
 	if r.inUse < r.capacity && len(r.waiters) == 0 {
 		r.accountBusy()
 		r.inUse++
-		return
+		return true
 	}
 	r.waiters = append(r.waiters, p)
 	if len(r.waiters) > r.maxQueue {
 		r.maxQueue = len(r.waiters)
 	}
-	p.block()
+	p.env.blocked++
+	return false
+}
+
+// Acquire obtains one slot, blocking the calling process in FIFO order while
+// the resource is full.
+func (r *Resource) Acquire(p *Proc) {
+	if r.acquireOrPark(p) {
+		return
+	}
+	p.park()
 	// When resumed, the slot has already been transferred by Release.
 }
 

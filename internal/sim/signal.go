@@ -12,8 +12,12 @@ type Signal struct {
 	version uint64 // incremented on every Broadcast
 }
 
-// NewSignal creates a Signal bound to env.
+// NewSignal creates a Signal bound to env. It has no side effect on env,
+// so hot-path callers may allocate one lazily and reuse it indefinitely
+// (the machine's stream flush join does); the waiter list empties on every
+// Broadcast and Signal identity is never part of the state digest.
 func NewSignal(env *Env) *Signal {
+	//lint:ignore hotalloc one Signal per lazy creation; hot-path callers pool and reuse it (stream flush joins, watcher slots)
 	return &Signal{env: env}
 }
 
@@ -21,6 +25,14 @@ func NewSignal(env *Env) *Signal {
 func (s *Signal) Wait(p *Proc) {
 	s.waiters = append(s.waiters, p)
 	p.block()
+}
+
+// waitStep queues the step process p as a waiter: the step half of Wait.
+// The caller (StepCtx.WaitSignal) marks its frame parked; Broadcast wakes
+// both kinds identically through unblock.
+func (s *Signal) waitStep(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.env.blocked++
 }
 
 // WaitVersion blocks until the Signal's version exceeds v. It returns the

@@ -108,6 +108,8 @@ type Env struct {
 	driver chan struct{} // wakes Run when the event queue drains
 	//knl:nostate recycled resume channels, deliberately invisible to any digest
 	free []chan struct{} // recycled resume channels of retired processes
+	//knl:nostate recycled step-process frames, deliberately invisible to any digest
+	freeStep []*StepProc // recycled frames of retired step processes (see step.go)
 	//knl:nostate zero at every quiescent digest/Reset point
 	live int // processes spawned and not yet finished
 	//knl:nostate zero at every quiescent digest/Reset point
@@ -147,10 +149,17 @@ func (e *Env) Blocked() int { return e.blocked }
 
 // Proc is a simulated process. All Proc methods must be called from within
 // the process's own function.
+//
+// A Proc is either a goroutine process (spawned by Go/GoAt, resumed over
+// its private channel) or the identity of a step process (spawned by
+// GoSteps, advanced inline by the scheduler; see step.go). Waiter queues,
+// events, and hooks hold *Proc for both kinds; the sp backlink tells the
+// scheduler which resumption mechanism to use.
 type Proc struct {
 	env    *Env
 	name   string
 	resume chan struct{}
+	sp     *StepProc // non-nil for step processes
 }
 
 // Name returns the process name given at spawn time.
@@ -212,25 +221,33 @@ func (e *Env) schedule(p *Proc, at Time) {
 	e.events.push(event{at: at, seq: e.seq, proc: p})
 }
 
-// cede pops the next event, advances the clock, and transfers control to
-// that event's process; with an empty queue it wakes the driver (Run)
-// instead. When the next event belongs to self, cede reports true and the
-// caller simply keeps running — no channel operation at all.
+// cede pops events, advances the clock, and transfers control: step-process
+// events are advanced inline (no channel operation, no goroutine switch)
+// and the loop continues; a goroutine event is resumed over its channel;
+// an empty queue wakes the driver (Run) instead. When the next event
+// belongs to self, cede reports true and the caller simply keeps running —
+// no channel operation at all.
 func (e *Env) cede(self *Proc) bool {
-	if e.events.len() == 0 {
-		e.driver <- struct{}{}
+	for {
+		if e.events.len() == 0 {
+			e.driver <- struct{}{}
+			return false
+		}
+		ev := e.events.pop()
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		if ev.proc == self {
+			return true
+		}
+		if sp := ev.proc.sp; sp != nil {
+			e.advance(sp)
+			continue
+		}
+		ev.proc.resume <- struct{}{}
 		return false
 	}
-	ev := e.events.pop()
-	if ev.at < e.now {
-		panic("sim: time went backwards")
-	}
-	e.now = ev.at
-	if ev.proc == self {
-		return true
-	}
-	ev.proc.resume <- struct{}{}
-	return false
 }
 
 // yield transfers control from the running process to the next event and
@@ -267,12 +284,24 @@ func (p *Proc) WaitUntil(t Time) {
 	p.yield()
 }
 
+// park suspends the goroutine process with no scheduled event; the caller
+// must already have queued p somewhere (a Resource or Signal waiter list)
+// and accounted it as blocked. The cede loop can advance step processes
+// inline, and one of those can release the very slot p is queued on —
+// scheduling p's wake-up while p is still inside its own cede. Passing p as
+// self catches that event instead of deadlocking on a self-handoff.
+func (p *Proc) park() {
+	if p.env.cede(p) {
+		return // our wake-up was reached during the cede loop: keep running
+	}
+	<-p.resume
+}
+
 // block parks the process with no scheduled event; something else must call
 // env.schedule(p, ...) to resume it. Used by Resource and Signal.
 func (p *Proc) block() {
 	p.env.blocked++
-	p.env.cede(nil) // a blocked process has no queued event: never self
-	<-p.resume
+	p.park()
 }
 
 // unblock schedules a blocked process to resume at the current time.
@@ -287,8 +316,23 @@ func (e *Env) unblock(p *Proc) {
 // cause is a collective algorithm bug: a flag that is polled but never
 // set).
 func (e *Env) Run() (Time, error) {
-	if e.events.len() > 0 {
-		e.cede(nil)
+	// Run pops events itself rather than delegating to cede: when every
+	// live process is a step process, the queue can drain without any
+	// goroutine ever running, and a cede-based Run would then send to its
+	// own driver channel. Step events are advanced inline; a goroutine
+	// event hands control into the process web, which returns it through
+	// the driver channel once the queue is empty.
+	for e.events.len() > 0 {
+		ev := e.events.pop()
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		if sp := ev.proc.sp; sp != nil {
+			e.advance(sp)
+			continue
+		}
+		ev.proc.resume <- struct{}{}
 		<-e.driver
 	}
 	if e.blocked > 0 {
@@ -300,9 +344,12 @@ func (e *Env) Run() (Time, error) {
 
 // Reset returns a drained environment to time zero for reuse by a pooled
 // machine: the clock and event counter restart, while the resume-channel
-// free list (invisible to any digest) is kept. Reset panics if events are
-// still queued or processes are live or blocked — it may only run between
-// completed Runs.
+// free list (invisible to any digest) is kept. Recycled step frames are
+// dropped instead: the quiescence check already proves no step process is
+// queued or running, so the next run starts with an empty step pool rather
+// than frames sized by the previous workload. Reset panics if events
+// are still queued or processes are live or blocked — it may only run
+// between completed Runs.
 func (e *Env) Reset() {
 	if e.events.len() != 0 || e.live != 0 || e.blocked != 0 {
 		panic(fmt.Sprintf("sim: Reset of non-quiescent env (%d events, %d live, %d blocked)",
@@ -311,6 +358,7 @@ func (e *Env) Reset() {
 	e.now = 0
 	e.seq = 0
 	e.OnWait = nil
+	e.freeStep = nil
 }
 
 // ErrDeadlock reports that the event queue drained while processes were

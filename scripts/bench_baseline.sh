@@ -107,7 +107,7 @@ cat > "$tmp" <<EOF
     "sweep": "serial only (no -parallel)"
   },
   "current": {
-    "engine": "4-ary slice heap + direct handoff + resume-channel free list",
+    "engine": "4-ary slice heap + stackless step processes on the hot path + direct goroutine handoff with resume-channel free list for the rest",
     "gomaxprocs": $cores,
     "event_throughput": {
       "ns_per_op": $ns_op,
