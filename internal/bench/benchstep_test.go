@@ -43,6 +43,33 @@ func TestBenchStepEquivalence(t *testing.T) {
 		pkS := MeasureStreamPeak(cfg, oS, KernelCopy, knl.MCDRAM, 4, knl.Scatter)
 		pkG := MeasureStreamPeak(cfg, oG, KernelCopy, knl.MCDRAM, 4, knl.Scatter)
 		feq(cfg.Name()+" copy peak", pkS, pkG)
+
+		// The store-walk and signal-watch junctures: 1:N contention (RFO
+		// invalidate fan-out) and ping-pong congestion (flag stores against
+		// KernelWaitWordGE) must not depend on the engine either.
+		ctS := MeasureContention(cfg, oS, []int{1, 4, 8})
+		ctG := MeasureContention(cfg, oG, []int{1, 4, 8})
+		for i := range ctS.Medians {
+			feq(cfg.Name()+" contention median", ctS.Medians[i], ctG.Medians[i])
+		}
+		cgS := MeasureCongestion(cfg, oS, 4)
+		cgG := MeasureCongestion(cfg, oG, 4)
+		feq(cfg.Name()+" congestion single", cgS.SinglePair, cgG.SinglePair)
+		feq(cfg.Name()+" congestion many", cgS.ManyPairs, cgG.ManyPairs)
+		feq(cfg.Name()+" congestion ring util", cgS.MaxRingUtilization, cgG.MaxRingUtilization)
+	}
+
+	// The NUMA ablation's windowed spawn loop, in an SNC mode.
+	{
+		cfg := knl.DefaultConfig().WithModes(knl.SNC4, knl.Flat)
+		oS := quick()
+		oG := quick()
+		oG.NoSteps = true
+		npS := MeasureNUMAAblation(cfg, oS, 8)
+		npG := MeasureNUMAAblation(cfg, oG, 8)
+		for i := range npS {
+			feq(cfg.Name()+" numa "+npS[i].Policy.String(), npS[i].GBs, npG[i].GBs)
+		}
 	}
 
 	// The convergence gate must compose with both engines: gated results on

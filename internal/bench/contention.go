@@ -52,9 +52,11 @@ func MeasureContention(cfg knl.Config, o Options, ns []int) ContentionResult {
 			locals[i] = m.Alloc.MustAlloc(knl.DDR, 0, knl.LineSize)
 		}
 		setup := func(iter int) { m.Prime(shared, 0, cache.Modified) }
-		maxes := RunWindows(m, places, o, setup, func(th *machine.Thread, rank, iter int) {
-			th.Load(shared, 0)
-			th.Store(locals[rank], 0)
+		maxes := RunWindows(m, places, o, setup, func(rank, iter int) machine.Program {
+			return OpsProgram(
+				machine.KernelOp{Kind: machine.KernelLoad, B: shared},
+				machine.KernelOp{Kind: machine.KernelStore, B: locals[rank]},
+			)
 		})
 		o.release(m)
 		return stats.Median(maxes)
@@ -110,23 +112,42 @@ func MeasureCongestion(cfg knl.Config, o Options, pairs int) CongestionResult {
 		const rounds = 16
 		var medians []float64
 		for pi, pr := range ps {
-			pi, pr := pi, pr
+			pi := pi
 			flag := pr.buf
-			m.Spawn(pr.a, func(th *machine.Thread) {
-				start := th.Now()
-				for r := 0; r < rounds; r++ {
-					th.StoreWord(flag, 0, uint64(2*r+1))
-					th.WaitWordGE(flag, 0, uint64(2*r+2))
+			// Each side of the ping-pong is a spawned step kernel: the
+			// master alternates flag stores with signal-watched waits, the
+			// peer mirrors it one step out of phase.
+			aStep, bStep := 0, 0
+			var start float64
+			m.SpawnKernel(pr.a, func(now float64, _ uint64) (machine.KernelOp, bool) {
+				if aStep == 0 {
+					start = now
 				}
-				if pi == 0 {
-					medians = append(medians, (th.Now()-start)/(2*rounds))
+				if aStep == 2*rounds {
+					if pi == 0 {
+						medians = append(medians, (now-start)/(2*rounds))
+					}
+					return machine.KernelOp{}, false
 				}
+				r := aStep / 2
+				op := machine.KernelOp{Kind: machine.KernelStoreWord, B: flag, Val: uint64(2*r + 1)}
+				if aStep%2 == 1 {
+					op = machine.KernelOp{Kind: machine.KernelWaitWordGE, B: flag, Val: uint64(2*r + 2)}
+				}
+				aStep++
+				return op, true
 			})
-			m.Spawn(pr.b, func(th *machine.Thread) {
-				for r := 0; r < rounds; r++ {
-					th.WaitWordGE(flag, 0, uint64(2*r+1))
-					th.StoreWord(flag, 0, uint64(2*r+2))
+			m.SpawnKernel(pr.b, func(now float64, _ uint64) (machine.KernelOp, bool) {
+				if bStep == 2*rounds {
+					return machine.KernelOp{}, false
 				}
+				r := bStep / 2
+				op := machine.KernelOp{Kind: machine.KernelWaitWordGE, B: flag, Val: uint64(2*r + 1)}
+				if bStep%2 == 1 {
+					op = machine.KernelOp{Kind: machine.KernelStoreWord, B: flag, Val: uint64(2*r + 2)}
+				}
+				bStep++
+				return op, true
 			})
 		}
 		if _, err := m.Run(); err != nil {

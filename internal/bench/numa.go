@@ -93,8 +93,9 @@ func MeasureNUMAAblation(cfg knl.Config, o Options, threads int) []NUMAPoint {
 					m.FlushBuffer(pool[picks[iter][r]].buf)
 				}
 			}
-			maxes := RunWindows(m, places, o, setup, func(th *machine.Thread, rank, iter int) {
-				th.ReadStream(pool[picks[iter][rank]].buf, true)
+			maxes := RunStreamWindows(m, places, o, setup, func(rank, iter int) machine.StreamOp {
+				src := pool[picks[iter][rank]].buf
+				return machine.StreamOp{Kind: machine.StreamRead, Src: src, N: src.NumLines(), Vector: true}
 			})
 			counted := float64(threads) * float64(o.StreamLines) * knl.LineSize
 			vals := make([]float64, len(maxes))

@@ -12,58 +12,17 @@ import (
 // window scheme of the Xeon Phi benchmarks, with per-thread skew); the
 // value recorded per iteration is the maximum duration over threads.
 //
-// setup (optional, may be nil) runs at zero simulated cost before each
-// iteration, with the machine quiescent.
+// Each rank runs a spawned kernel — a step process on the default engine —
+// whose per-iteration work is the kernel program produced by bodyFor (a
+// fresh program per window, driven to completion inside it). setup
+// (optional, may be nil) runs at zero simulated cost before each
+// iteration, with the machine quiescent: all ranks arrive early at the
+// window boundary, and rank 0 runs setup at that quiescent point. The
+// wrapper phases below are the old Thread loop's statements between
+// blocking points, instant-for-instant.
 func RunWindows(m *machine.Machine, places []knl.Place, o Options,
 	setup func(iter int),
-	body func(th *machine.Thread, rank, iter int)) []float64 {
-
-	perIter := make([][]float64, o.Iterations)
-	for i := range perIter {
-		perIter[i] = make([]float64, len(places))
-	}
-	skews := make([]float64, len(places))
-	rng := stats.NewRNG(o.Seed ^ 0x77)
-	for i := range skews {
-		skews[i] = rng.Float64() * 10 // ns of TSC-alignment skew
-	}
-	// Rank 0 performs the zero-cost setup just before each window boundary;
-	// all threads arrive early, so the machine is quiescent at that point.
-	for r, pl := range places {
-		r, pl := r, pl
-		m.Spawn(pl, func(th *machine.Thread) {
-			for it := 0; it < o.Iterations; it++ {
-				windowStart := float64(it+1) * o.WindowNs
-				th.WaitUntil(windowStart - 50) // arrive early
-				if r == 0 && setup != nil {
-					setup(it)
-				}
-				th.WaitUntil(windowStart + skews[r])
-				start := th.Now()
-				body(th, r, it)
-				perIter[it][r] = th.Now() - start
-			}
-		})
-	}
-	if _, err := m.Run(); err != nil {
-		panic(err)
-	}
-	maxes := make([]float64, o.Iterations)
-	for i, durs := range perIter {
-		maxes[i] = stats.Max(durs)
-	}
-	return maxes
-}
-
-// RunStreamWindows is RunWindows for spawned stream kernels: each rank runs
-// a stream task — a step process on the default engine — whose per-iteration
-// work is the single StreamOp produced by opFor. The window accounting
-// (early arrival, rank-0 setup at the quiescent point, per-rank TSC skew,
-// per-iteration max over ranks) matches RunWindows instant-for-instant; the
-// phases below are the Thread loop's statements between blocking points.
-func RunStreamWindows(m *machine.Machine, places []knl.Place, o Options,
-	setup func(iter int),
-	opFor func(rank, iter int) machine.StreamOp) []float64 {
+	bodyFor func(rank, iter int) machine.Program) []float64 {
 
 	perIter := make([][]float64, o.Iterations)
 	for i := range perIter {
@@ -79,30 +38,35 @@ func RunStreamWindows(m *machine.Machine, places []knl.Place, o Options,
 		it := 0
 		phase := 0
 		var start float64
-		m.SpawnStreamTask(places[r], func(now float64) (machine.StreamOp, bool) {
+		var body machine.Program
+		m.SpawnKernel(places[r], func(now float64, prev uint64) (machine.KernelOp, bool) {
 			for {
 				switch phase {
 				case 0: // arrive early at the next window boundary
 					if it >= o.Iterations {
-						return machine.StreamOp{}, false
+						return machine.KernelOp{}, false
 					}
 					phase = 1
-					return machine.StreamOp{Kind: machine.StreamSync,
+					return machine.KernelOp{Kind: machine.StreamSync,
 						At: float64(it+1)*o.WindowNs - 50}, true
 				case 1: // quiescent point: rank 0 runs the zero-cost setup
 					if r == 0 && setup != nil {
 						setup(it)
 					}
 					phase = 2
-					return machine.StreamOp{Kind: machine.StreamSync,
+					return machine.KernelOp{Kind: machine.StreamSync,
 						At: float64(it+1)*o.WindowNs + skews[r]}, true
-				case 2: // the timed kernel op
-					phase = 3
+				case 2: // window boundary reached: start the timed body
+					body = bodyFor(r, it)
 					start = now
-					return opFor(r, it), true
-				default: // op complete: record and move to the next window
+					phase = 3
+				case 3: // delegate to the body program until it finishes
+					if op, ok := body(now, prev); ok {
+						return op, true
+					}
 					perIter[it][r] = now - start
 					it++
+					body = nil
 					phase = 0
 				}
 			}
@@ -116,6 +80,37 @@ func RunStreamWindows(m *machine.Machine, places []knl.Place, o Options,
 		maxes[i] = stats.Max(durs)
 	}
 	return maxes
+}
+
+// OpsProgram returns a kernel program that emits the given ops in order.
+func OpsProgram(ops ...machine.KernelOp) machine.Program {
+	i := 0
+	return func(now float64, prev uint64) (machine.KernelOp, bool) {
+		if i >= len(ops) {
+			return machine.KernelOp{}, false
+		}
+		op := ops[i]
+		i++
+		return op, true
+	}
+}
+
+// RunStreamWindows is RunWindows for single-op bodies: each window's work
+// is the one StreamOp produced by opFor.
+func RunStreamWindows(m *machine.Machine, places []knl.Place, o Options,
+	setup func(iter int),
+	opFor func(rank, iter int) machine.StreamOp) []float64 {
+
+	return RunWindows(m, places, o, setup, func(rank, iter int) machine.Program {
+		done := false
+		return func(now float64, prev uint64) (machine.KernelOp, bool) {
+			if done {
+				return machine.KernelOp{}, false
+			}
+			done = true
+			return opFor(rank, iter), true
+		}
+	})
 }
 
 // TSCResolutionNs is the measured resolution of the timestamp-counter read

@@ -42,29 +42,31 @@ func newTunedAllgather(m *machine.Machine, cfg knl.Config, model *core.Model,
 	return ag
 }
 
-func (ag *tunedAllgather) run(th *machine.Thread, rank, seq int) {
+func (ag *tunedAllgather) emit(s *script, rank, seq int) {
 	n := ag.n
 	// Own contribution occupies slot `rank` of the local slab.
-	th.StoreWord(ag.slabs[rank], rank, uint64(seq))
+	s.storeWord(ag.slabs[rank], rank, uint64(seq))
+	// The dissemination schedule is a pure function of (rank, round), so the
+	// whole walk — including the mine-set bookkeeping — is known at emit time.
 	mine := map[int]bool{rank: true}
 	span := 1
 	for r := 0; r < ag.rds; r++ {
 		// Publish round flag: "my slab now holds `span`-worth of blocks".
-		th.StoreWord(ag.slabs[rank], n+r, uint64(seq))
+		s.storeWord(ag.slabs[rank], n+r, uint64(seq))
 		for j := 1; j <= ag.mWay; j++ {
 			partner := (rank - j*span + j*span*n) % n
 			if partner == rank {
 				continue
 			}
-			th.WaitWordGE(ag.slabs[partner], n+r, uint64(seq))
+			s.waitWordGE(ag.slabs[partner], n+r, uint64(seq), nil)
 			// Pull the partner's accumulated block: their own contribution
 			// plus what they gathered in earlier rounds.
 			for _, src := range blockOwners(partner, span, ag.mWay, n) {
 				if mine[src] {
 					continue
 				}
-				th.Load(ag.slabs[partner], src)
-				th.Store(ag.slabs[rank], src)
+				s.load(ag.slabs[partner], src)
+				s.store(ag.slabs[rank], src)
 				mine[src] = true
 			}
 		}
@@ -73,7 +75,7 @@ func (ag *tunedAllgather) run(th *machine.Thread, rank, seq int) {
 			break
 		}
 	}
-	ag.got[rank] = mine
+	s.do(func() { ag.got[rank] = mine })
 }
 
 // blockOwners lists the contributor ranks held by `owner` after gathering
@@ -126,18 +128,20 @@ func newOMPAllgather(m *machine.Machine, cfg knl.Config, g *group, p Params) *om
 	}
 }
 
-func (oa *ompAllgather) run(th *machine.Thread, rank, seq int) {
-	th.Compute(oa.forkNs)
-	th.StoreWord(oa.slab, rank, uint64(seq))
-	th.AddWord(oa.count, 0, 1)
-	th.WaitWordGE(oa.count, 0, uint64(seq*oa.n))
+func (oa *ompAllgather) emit(s *script, rank, seq int) {
+	s.compute(oa.forkNs)
+	s.storeWord(oa.slab, rank, uint64(seq))
+	s.addWord(oa.count, 0, 1, nil)
+	s.waitWordGE(oa.count, 0, uint64(seq*oa.n), nil)
 	have := 0
 	for i := 0; i < oa.n; i++ {
-		if th.LoadWord(oa.slab, i) >= uint64(seq) {
-			have++
-		}
+		s.loadWord(oa.slab, i, func(got uint64) {
+			if got >= uint64(seq) {
+				have++
+			}
+		})
 	}
-	oa.got[rank] = have
+	s.do(func() { oa.got[rank] = have })
 }
 
 func (oa *ompAllgather) validate(m *machine.Machine, iters int) bool {
@@ -165,7 +169,7 @@ func newMPIAllgather(m *machine.Machine, cfg knl.Config, g *group, p Params) *mp
 	}
 }
 
-func (ma *mpiAllgather) run(th *machine.Thread, rank, seq int) {
+func (ma *mpiAllgather) emit(s *script, rank, seq int) {
 	n := ma.n
 	have := 1
 	span := 1
@@ -179,15 +183,17 @@ func (ma *mpiAllgather) run(th *machine.Thread, rank, seq int) {
 			blk = n - have
 		}
 		for i := 0; i < blk; i++ {
-			ma.mpi.send(th, rank, to, 2+round, seq, uint64(i))
+			v := uint64(i)
+			ma.mpi.send(s, rank, to, 2+round, seq, func() uint64 { return v })
 		}
 		for i := 0; i < blk; i++ {
-			ma.mpi.recv(th, from, rank, 2+round, seq)
+			ma.mpi.recv(s, from, rank, 2+round, seq, nil)
 		}
 		have += blk
 		span *= 2
 	}
-	ma.got[rank] = have
+	got := have
+	s.do(func() { ma.got[rank] = got })
 }
 
 func (ma *mpiAllgather) validate(m *machine.Machine, iters int) bool {

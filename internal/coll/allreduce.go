@@ -36,14 +36,15 @@ func newTunedAllreduce(m *machine.Machine, cfg knl.Config, model *core.Model,
 	}
 }
 
-func (ar *tunedAllreduce) run(th *machine.Thread, rank, seq int) {
-	ar.red.run(th, rank, seq)
-	// The reduce root injects the sum into the broadcast payload word.
+func (ar *tunedAllreduce) emit(s *script, rank, seq int) {
+	ar.red.emit(s, rank, seq)
+	// The reduce root injects the sum into the broadcast payload word —
+	// deferred to the reduce-completion instant, when rootSum is set.
 	if rank == 0 {
-		ar.bc.inject = ar.red.rootSum
+		s.do(func() { ar.bc.inject = ar.red.rootSum })
 	}
-	ar.bc.run(th, rank, seq)
-	ar.result[rank] = ar.bc.seen[rank]
+	ar.bc.emit(s, rank, seq)
+	s.do(func() { ar.result[rank] = ar.bc.seen[rank] })
 }
 
 func (ar *tunedAllreduce) validate(m *machine.Machine, iters int) bool {
@@ -81,19 +82,21 @@ func newOMPAllreduce(m *machine.Machine, cfg knl.Config, g *group, p Params) *om
 	}
 }
 
-func (oa *ompAllreduce) run(th *machine.Thread, rank, seq int) {
-	th.Compute(oa.forkNs)
-	th.AddWord(oa.acc, 0, uint64(rank+1))
-	th.AddWord(oa.count, 0, 1)
+func (oa *ompAllreduce) emit(s *script, rank, seq int) {
+	s.compute(oa.forkNs)
+	s.addWord(oa.acc, 0, uint64(rank+1), nil)
+	s.addWord(oa.count, 0, 1, nil)
 	if rank == 0 {
-		th.WaitWordGE(oa.count, 0, uint64(seq*oa.threads))
-		sum := th.LoadWord(oa.acc, 0)
-		th.StoreWord(oa.out, 0, uint64(seq)*65536+sum%65536)
-		oa.result[0] = sum % 65536
+		var sum uint64
+		s.waitWordGE(oa.count, 0, uint64(seq*oa.threads), nil)
+		s.loadWord(oa.acc, 0, func(got uint64) { sum = got })
+		s.storeWordFn(oa.out, 0, func() uint64 { return uint64(seq)*65536 + sum%65536 })
+		s.do(func() { oa.result[0] = sum % 65536 })
 		return
 	}
-	v := th.WaitWordGE(oa.out, 0, uint64(seq)*65536)
-	oa.result[rank] = v - uint64(seq)*65536
+	s.waitWordGE(oa.out, 0, uint64(seq)*65536, func(got uint64) {
+		oa.result[rank] = got - uint64(seq)*65536
+	})
 }
 
 func (oa *ompAllreduce) validate(m *machine.Machine, iters int) bool {
@@ -123,13 +126,13 @@ func newMPIAllreduce(m *machine.Machine, cfg knl.Config, g *group, p Params) *mp
 	}
 }
 
-func (ma *mpiAllreduce) run(th *machine.Thread, rank, seq int) {
-	ma.red.run(th, rank, seq)
+func (ma *mpiAllreduce) emit(s *script, rank, seq int) {
+	ma.red.emit(s, rank, seq)
 	if rank == 0 {
-		ma.bc.inject = ma.red.rootSum
+		s.do(func() { ma.bc.inject = ma.red.rootSum })
 	}
-	ma.bc.run(th, rank, seq)
-	ma.sum[rank] = ma.bc.seen[rank]
+	ma.bc.emit(s, rank, seq)
+	s.do(func() { ma.sum[rank] = ma.bc.seen[rank] })
 }
 
 func (ma *mpiAllreduce) validate(m *machine.Machine, iters int) bool {

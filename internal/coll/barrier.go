@@ -31,17 +31,17 @@ func newTunedBarrier(m *machine.Machine, cfg knl.Config, model *core.Model,
 	return tb
 }
 
-func (tb *tunedBarrier) run(th *machine.Thread, rank, seq int) {
+func (tb *tunedBarrier) emit(s *script, rank, seq int) {
 	n := len(tb.g.places)
 	span := 1
 	for r := 0; r < tb.round; r++ {
-		th.StoreWord(tb.flags[rank], r, uint64(seq))
+		s.storeWord(tb.flags[rank], r, uint64(seq))
 		for j := 1; j <= tb.mWay; j++ {
 			partner := (rank + j*span) % n
 			if partner == rank {
 				continue
 			}
-			th.WaitWordGE(tb.flags[partner], r, uint64(seq))
+			s.waitWordGE(tb.flags[partner], r, uint64(seq), nil)
 		}
 		span *= tb.mWay + 1
 	}
@@ -78,14 +78,18 @@ func newOMPBarrier(m *machine.Machine, cfg knl.Config, g *group, p Params) *ompB
 	}
 }
 
-func (ob *ompBarrier) run(th *machine.Thread, rank, seq int) {
-	th.Compute(ob.forkNs) // runtime dispatch into __kmp_barrier
+func (ob *ompBarrier) emit(s *script, rank, seq int) {
+	s.compute(ob.forkNs) // runtime dispatch into __kmp_barrier
 	n := len(ob.g.places)
-	if got := th.AddWord(ob.counter, 0, 1); got == uint64(seq*n) {
-		th.StoreWord(ob.release, 0, uint64(seq))
-		return
-	}
-	th.WaitWordGE(ob.release, 0, uint64(seq))
+	// The continuation depends on the fetched counter: the last arriver
+	// releases, everyone else waits — queued from the AddWord's then hook.
+	s.addWord(ob.counter, 0, 1, func(got uint64) {
+		if got == uint64(seq*n) {
+			s.storeWord(ob.release, 0, uint64(seq))
+			return
+		}
+		s.waitWordGE(ob.release, 0, uint64(seq), nil)
+	})
 }
 
 func (ob *ompBarrier) validate(m *machine.Machine, iters int) bool {
@@ -111,14 +115,14 @@ func newMPIBarrier(m *machine.Machine, cfg knl.Config, g *group, p Params) *mpiB
 	}
 }
 
-func (mb *mpiBarrier) run(th *machine.Thread, rank, seq int) {
+func (mb *mpiBarrier) emit(s *script, rank, seq int) {
 	n := len(mb.g.places)
 	span := 1
 	for r := 0; r < mb.rds; r++ {
 		to := (rank + span) % n
 		from := (rank - span + n) % n
-		mb.mpi.send(th, rank, to, r, seq, 0)
-		mb.mpi.recv(th, from, rank, r, seq)
+		mb.mpi.send(s, rank, to, r, seq, nil)
+		mb.mpi.recv(s, from, rank, r, seq, nil)
 		span *= 2
 	}
 }

@@ -276,8 +276,10 @@ func Measure(cfg knl.Config, model *core.Model, o bench.Options, op Op,
 		runner = newMPIScan(m, cfg, g, p)
 	}
 
-	maxes := bench.RunWindows(m, places, o, nil, func(th *machine.Thread, rank, iter int) {
-		runner.run(th, rank, iter+1)
+	maxes := bench.RunWindows(m, places, o, nil, func(rank, iter int) machine.Program {
+		s := &script{}
+		runner.emit(s, rank, iter+1)
+		return s.program()
 	})
 	res := Result{
 		Op: op, Alg: alg, Config: cfg, Params: p,
@@ -290,10 +292,11 @@ func Measure(cfg knl.Config, model *core.Model, o bench.Options, op Op,
 	return res
 }
 
-// iterRunner executes one collective iteration for one thread rank.
-// seq starts at 1 and increases per iteration.
+// iterRunner emits one collective iteration for one thread rank into a
+// script (replayed as a spawned kernel program). seq starts at 1 and
+// increases per iteration.
 type iterRunner interface {
-	run(th *machine.Thread, rank, seq int)
+	emit(s *script, rank, seq int)
 	// validate checks operation semantics after all iterations.
 	validate(m *machine.Machine, iters int) bool
 }

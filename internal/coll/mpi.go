@@ -52,26 +52,51 @@ func (f *mpiFabric) placeOf(rank int) knl.Place {
 }
 
 // send copies the payload into the bounce segment and publishes the flag
-// word (value seq*4096 + payload word).
-func (f *mpiFabric) send(th *machine.Thread, from, to, tag, seq int, value uint64) {
-	th.Compute(f.p.MPIOverheadNs.Float())
-	b := f.buf(from, to, tag)
+// word (value seq*4096 + payload word). The payload closure (nil means 0)
+// and the lazy bounce-buffer resolution run at the instants the old blocking
+// code reached them, so a value produced by an earlier recv in the same
+// iteration is available and first-touch allocation order is preserved.
+func (f *mpiFabric) send(s *script, from, to, tag, seq int, value func() uint64) {
+	s.compute(f.p.MPIOverheadNs.Float())
+	var b memmode.Buffer
+	s.do(func() { b = f.buf(from, to, tag) })
 	for li := 1; li < f.msgLines; li++ {
-		th.Store(b, li)
+		li := li
+		s.opf(func() machine.KernelOp {
+			return machine.KernelOp{Kind: machine.KernelStore, B: b, Li: li}
+		}, nil)
 	}
-	th.StoreWord(b, 0, uint64(seq)*4096+value)
+	s.opf(func() machine.KernelOp {
+		v := uint64(0)
+		if value != nil {
+			v = value()
+		}
+		return machine.KernelOp{Kind: machine.KernelStoreWord, B: b, Val: uint64(seq)*4096 + v}
+	}, nil)
 }
 
-// recv waits for the message and copies it out, returning the payload word.
-func (f *mpiFabric) recv(th *machine.Thread, from, to, tag, seq int) uint64 {
-	th.Compute(f.p.MPIOverheadNs.Float())
-	b := f.buf(from, to, tag)
-	got := th.WaitWordGE(b, 0, uint64(seq)*4096)
+// recv waits for the message and copies it out; then (optional) receives the
+// payload word at the flag-observation instant.
+func (f *mpiFabric) recv(s *script, from, to, tag, seq int, then func(payload uint64)) {
+	s.compute(f.p.MPIOverheadNs.Float())
+	var b memmode.Buffer
+	s.do(func() { b = f.buf(from, to, tag) })
+	s.opf(func() machine.KernelOp {
+		return machine.KernelOp{Kind: machine.KernelWaitWordGE, B: b, Val: uint64(seq) * 4096}
+	}, func(got uint64) {
+		if then != nil {
+			then(got - uint64(seq)*4096)
+		}
+	})
 	for li := 1; li < f.msgLines; li++ {
-		th.Load(b, li)
-		th.Store(f.recvScratch(to), li)
+		li := li
+		s.opf(func() machine.KernelOp {
+			return machine.KernelOp{Kind: machine.KernelLoad, B: b, Li: li}
+		}, nil)
+		s.opf(func() machine.KernelOp {
+			return machine.KernelOp{Kind: machine.KernelStore, B: f.recvScratch(to), Li: li}
+		}, nil)
 	}
-	return got - uint64(seq)*4096
 }
 
 // recvScratch is the receiver's private landing buffer (the copy-out half
@@ -127,20 +152,27 @@ func newMPIBcast(m *machine.Machine, cfg knl.Config, g *group, p Params) *mpiBca
 	}
 }
 
-func (b *mpiBcast) run(th *machine.Thread, rank, seq int) {
+func (b *mpiBcast) emit(s *script, rank, seq int) {
 	var val uint64
 	if rank == 0 {
-		val = uint64(seq%1000) + 7
-		if b.inject != 0 {
-			val = b.inject
-			b.inject = 0
-		}
+		// Deferred: inject is set by the allreduce at reduce-completion time,
+		// mid-iteration, so it must be read at the simulated instant.
+		s.do(func() {
+			val = uint64(seq%1000) + 7
+			if b.inject != 0 {
+				val = b.inject
+				b.inject = 0
+			}
+			b.seen[0] = val
+		})
 	} else {
-		val = b.mpi.recv(th, b.parent[rank], rank, 0, seq)
+		b.mpi.recv(s, b.parent[rank], rank, 0, seq, func(payload uint64) {
+			val = payload
+			b.seen[rank] = val
+		})
 	}
-	b.seen[rank] = val
 	for _, c := range b.children[rank] {
-		b.mpi.send(th, rank, c, 0, seq, val)
+		b.mpi.send(s, rank, c, 0, seq, func() uint64 { return val })
 	}
 }
 
@@ -171,17 +203,17 @@ func newMPIReduce(m *machine.Machine, cfg knl.Config, g *group, p Params) *mpiRe
 	}
 }
 
-func (rd *mpiReduce) run(th *machine.Thread, rank, seq int) {
+func (rd *mpiReduce) emit(s *script, rank, seq int) {
 	sum := uint64(rank + 1) // this rank's contribution
 	// Receive children in reverse send order (largest subtree last).
 	for _, c := range rd.children[rank] {
-		sum += rd.mpi.recv(th, c, rank, 1, seq)
+		rd.mpi.recv(s, c, rank, 1, seq, func(payload uint64) { sum += payload })
 	}
 	if rank == 0 {
-		rd.rootSum = sum
+		s.do(func() { rd.rootSum = sum })
 		return
 	}
-	rd.mpi.send(th, rank, rd.parent[rank], 1, seq, sum)
+	rd.mpi.send(s, rank, rd.parent[rank], 1, seq, func() uint64 { return sum })
 }
 
 func (rd *mpiReduce) validate(m *machine.Machine, iters int) bool {

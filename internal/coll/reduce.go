@@ -66,7 +66,7 @@ func encodeReduce(seq int, partial uint64) uint64 {
 	return uint64(seq)*65536 + partial
 }
 
-func (tr *tunedReduce) run(th *machine.Thread, rank, seq int) {
+func (tr *tunedReduce) emit(s *script, rank, seq int) {
 	node := tr.g.nodeOf[rank]
 	contribution := uint64(rank + 1)
 
@@ -74,7 +74,7 @@ func (tr *tunedReduce) run(th *machine.Thread, rank, seq int) {
 		// Intra-tile follower: deposit into the leader's tile slot.
 		for i, fr := range tr.g.follows[node] {
 			if fr == rank {
-				th.StoreWord(tr.tileSlots[node], i, encodeReduce(seq, contribution))
+				s.storeWord(tr.tileSlots[node], i, encodeReduce(seq, contribution))
 			}
 		}
 		return
@@ -83,21 +83,25 @@ func (tr *tunedReduce) run(th *machine.Thread, rank, seq int) {
 	sum := contribution
 	// Flat intra-tile gather (cheap polling, as the paper prescribes).
 	for i := range tr.g.follows[node] {
-		v := th.WaitWordGE(tr.tileSlots[node], i, uint64(seq)*65536)
-		sum += v - uint64(seq)*65536
-		th.Compute(tr.opNs)
+		s.waitWordGE(tr.tileSlots[node], i, uint64(seq)*65536, func(got uint64) {
+			sum += got - uint64(seq)*65536
+		})
+		s.compute(tr.opNs)
 	}
 	// Inter-tile gather from the children's slots.
 	for i := range tr.children[node] {
-		v := th.WaitWordGE(tr.slots[node], i, uint64(seq)*65536)
-		sum += v - uint64(seq)*65536
-		th.Compute(tr.opNs)
+		s.waitWordGE(tr.slots[node], i, uint64(seq)*65536, func(got uint64) {
+			sum += got - uint64(seq)*65536
+		})
+		s.compute(tr.opNs)
 	}
 	if tr.parent[node] < 0 {
-		tr.rootSum = sum
+		s.do(func() { tr.rootSum = sum })
 		return
 	}
-	th.StoreWord(tr.slots[tr.parent[node]], tr.childIdx[node], encodeReduce(seq, sum))
+	s.storeWordFn(tr.slots[tr.parent[node]], tr.childIdx[node], func() uint64 {
+		return encodeReduce(seq, sum)
+	})
 }
 
 func (tr *tunedReduce) validate(m *machine.Machine, iters int) bool {
@@ -127,20 +131,20 @@ func newOMPReduce(m *machine.Machine, cfg knl.Config, g *group, p Params) *ompRe
 	}
 }
 
-func (or *ompReduce) run(th *machine.Thread, rank, seq int) {
-	th.Compute(or.forkNs) // runtime dispatch
-	th.AddWord(or.acc, 0, uint64(rank+1))
-	th.AddWord(or.count, 0, 1)
+func (or *ompReduce) emit(s *script, rank, seq int) {
+	s.compute(or.forkNs) // runtime dispatch
+	s.addWord(or.acc, 0, uint64(rank+1), nil)
+	s.addWord(or.count, 0, 1, nil)
 	// An OpenMP `reduction` clause ends at the implicit barrier of the
 	// construct: the root publishes completion and everyone waits.
 	if rank == 0 {
 		n := len(or.g.places)
-		th.WaitWordGE(or.count, 0, uint64(seq*n))
-		or.rootSum = th.LoadWord(or.acc, 0)
-		th.StoreWord(or.release, 0, uint64(seq))
+		s.waitWordGE(or.count, 0, uint64(seq*n), nil)
+		s.loadWord(or.acc, 0, func(got uint64) { or.rootSum = got })
+		s.storeWord(or.release, 0, uint64(seq))
 		return
 	}
-	th.WaitWordGE(or.release, 0, uint64(seq))
+	s.waitWordGE(or.release, 0, uint64(seq), nil)
 }
 
 func (or *ompReduce) validate(m *machine.Machine, iters int) bool {

@@ -45,19 +45,20 @@ func newTunedScan(m *machine.Machine, cfg knl.Config, model *core.Model,
 	return ts
 }
 
-func (ts *tunedScan) run(th *machine.Thread, rank, seq int) {
+func (ts *tunedScan) emit(s *script, rank, seq int) {
 	partial := uint64(rank + 1)
-	th.StoreWord(ts.slabs[rank], 0, encodeReduce(seq, partial))
+	s.storeWord(ts.slabs[rank], 0, encodeReduce(seq, partial))
 	span := 1
 	for r := 0; r < ts.rounds; r++ {
 		if rank-span >= 0 {
-			v := th.WaitWordGE(ts.slabs[rank-span], r, uint64(seq)*65536)
-			partial += v - uint64(seq)*65536
+			s.waitWordGE(ts.slabs[rank-span], r, uint64(seq)*65536, func(got uint64) {
+				partial += got - uint64(seq)*65536
+			})
 		}
-		th.StoreWord(ts.slabs[rank], r+1, encodeReduce(seq, partial))
+		s.storeWordFn(ts.slabs[rank], r+1, func() uint64 { return encodeReduce(seq, partial) })
 		span *= 2
 	}
-	ts.result[rank] = partial
+	s.do(func() { ts.result[rank] = partial })
 }
 
 func (ts *tunedScan) validate(m *machine.Machine, iters int) bool {
@@ -91,16 +92,17 @@ func newOMPScan(m *machine.Machine, cfg knl.Config, g *group, p Params) *ompScan
 	}
 }
 
-func (os *ompScan) run(th *machine.Thread, rank, seq int) {
-	th.Compute(os.forkNs)
+func (os *ompScan) emit(s *script, rank, seq int) {
+	s.compute(os.forkNs)
 	prefix := uint64(0)
 	if rank > 0 {
-		v := th.WaitWordGE(os.chain, rank-1, uint64(seq)*65536)
-		prefix = v - uint64(seq)*65536
+		s.waitWordGE(os.chain, rank-1, uint64(seq)*65536, func(got uint64) {
+			prefix = got - uint64(seq)*65536
+		})
 	}
-	prefix += uint64(rank + 1)
-	th.StoreWord(os.chain, rank, encodeReduce(seq, prefix))
-	os.result[rank] = prefix
+	s.do(func() { prefix += uint64(rank + 1) })
+	s.storeWordFn(os.chain, rank, func() uint64 { return encodeReduce(seq, prefix) })
+	s.do(func() { os.result[rank] = prefix })
 }
 
 func (os *ompScan) validate(m *machine.Machine, iters int) bool {
@@ -125,19 +127,19 @@ func newMPIScan(m *machine.Machine, cfg knl.Config, g *group, p Params) *mpiScan
 		n: len(g.places), result: make([]uint64, len(g.places))}
 }
 
-func (ms *mpiScan) run(th *machine.Thread, rank, seq int) {
+func (ms *mpiScan) emit(s *script, rank, seq int) {
 	partial := uint64(rank + 1)
 	span := 1
 	for r := 0; span < ms.n; r++ {
 		if rank+span < ms.n {
-			ms.mpi.send(th, rank, rank+span, 8+r, seq, partial%4096)
+			ms.mpi.send(s, rank, rank+span, 8+r, seq, func() uint64 { return partial % 4096 })
 		}
 		if rank-span >= 0 {
-			partial += ms.mpi.recv(th, rank-span, rank, 8+r, seq)
+			ms.mpi.recv(s, rank-span, rank, 8+r, seq, func(payload uint64) { partial += payload })
 		}
 		span *= 2
 	}
-	ms.result[rank] = partial
+	s.do(func() { ms.result[rank] = partial })
 }
 
 func (ms *mpiScan) validate(m *machine.Machine, iters int) bool {

@@ -1,0 +1,120 @@
+package coll
+
+import (
+	"knlcap/internal/machine"
+	"knlcap/internal/memmode"
+)
+
+// script builds one rank's collective iteration as a kernel program. The
+// runners used to execute directly on a blocking Thread, interleaving memory
+// ops with host computation (accumulating sums, recording observed values);
+// a kernel program is instead pulled one op at a time, so the script records
+// that interleaving as a queue of entries replayed at the right simulated
+// instants:
+//
+//   - an op entry's make closure builds the KernelOp at the instant the op
+//     issues (so a value computed by an earlier op's result is available);
+//     its then hook runs at the op's completion instant with the op result —
+//     exactly when the Thread call would have returned it.
+//   - a host entry (make == nil) runs inline at the completion instant of
+//     whatever preceded it, at zero simulated cost — where the goroutine text
+//     had plain statements between blocking calls.
+//
+// A then hook may append further entries (the queue beyond it is empty at
+// that point), which expresses result-dependent control flow such as the
+// OpenMP barrier's "last arriver releases, others wait" branch.
+type script struct {
+	ops []scriptOp
+}
+
+type scriptOp struct {
+	make func() machine.KernelOp
+	then func(got uint64)
+}
+
+// opf appends an op entry with an explicit make closure.
+func (s *script) opf(make func() machine.KernelOp, then func(got uint64)) {
+	s.ops = append(s.ops, scriptOp{make: make, then: then})
+}
+
+// op appends a fully-static op entry.
+func (s *script) op(op machine.KernelOp, then func(got uint64)) {
+	s.ops = append(s.ops, scriptOp{make: func() machine.KernelOp { return op }, then: then})
+}
+
+// do appends a host action running at the preceding op's completion instant.
+func (s *script) do(f func()) {
+	s.ops = append(s.ops, scriptOp{then: func(uint64) { f() }})
+}
+
+func (s *script) compute(d float64) {
+	s.op(machine.KernelOp{Kind: machine.KernelCompute, Dur: d}, nil)
+}
+
+func (s *script) load(b memmode.Buffer, li int) {
+	s.op(machine.KernelOp{Kind: machine.KernelLoad, B: b, Li: li}, nil)
+}
+
+// loadWord is a load whose payload word feeds the then hook.
+func (s *script) loadWord(b memmode.Buffer, li int, then func(got uint64)) {
+	s.op(machine.KernelOp{Kind: machine.KernelLoad, B: b, Li: li}, then)
+}
+
+func (s *script) store(b memmode.Buffer, li int) {
+	s.op(machine.KernelOp{Kind: machine.KernelStore, B: b, Li: li}, nil)
+}
+
+func (s *script) storeWord(b memmode.Buffer, li int, v uint64) {
+	s.op(machine.KernelOp{Kind: machine.KernelStoreWord, B: b, Li: li, Val: v}, nil)
+}
+
+// storeWordFn defers the stored value to the issue instant (for values
+// produced by earlier waits in the same iteration).
+func (s *script) storeWordFn(b memmode.Buffer, li int, v func() uint64) {
+	s.opf(func() machine.KernelOp {
+		return machine.KernelOp{Kind: machine.KernelStoreWord, B: b, Li: li, Val: v()}
+	}, nil)
+}
+
+func (s *script) addWord(b memmode.Buffer, li int, delta uint64, then func(got uint64)) {
+	s.op(machine.KernelOp{Kind: machine.KernelAddWord, B: b, Li: li, Val: delta}, then)
+}
+
+func (s *script) waitWordGE(b memmode.Buffer, li int, v uint64, then func(got uint64)) {
+	s.op(machine.KernelOp{Kind: machine.KernelWaitWordGE, B: b, Li: li, Val: v}, then)
+}
+
+func (s *script) readStreamRange(b memmode.Buffer, from, n int, vector bool) {
+	s.op(machine.KernelOp{Kind: machine.StreamRead, Src: b, SrcFrom: from, N: n, Vector: vector}, nil)
+}
+
+func (s *script) copyStreamRange(dst, src memmode.Buffer, dstFrom, srcFrom, n int, nt bool) {
+	s.op(machine.KernelOp{Kind: machine.StreamCopy, Dst: dst, Src: src,
+		DstFrom: dstFrom, SrcFrom: srcFrom, N: n, NT: nt}, nil)
+}
+
+// program drains the script as a kernel Program.
+func (s *script) program() machine.Program {
+	i := 0
+	var pending func(uint64)
+	return func(now float64, prev uint64) (machine.KernelOp, bool) {
+		if pending != nil {
+			f := pending
+			pending = nil
+			f(prev)
+		}
+		for i < len(s.ops) {
+			e := s.ops[i]
+			i++
+			if e.make == nil {
+				if e.then != nil {
+					e.then(0)
+				}
+				continue
+			}
+			pending = e.then
+			return e.make(), true
+		}
+		return machine.KernelOp{}, false
+	}
+}

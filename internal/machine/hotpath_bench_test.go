@@ -29,6 +29,26 @@ func BenchmarkLoadLineHotPath(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreLineHotPath is the store-side twin: the RFO walk (tag
+// probe, invalidate-others fan-out, memory write allocate) over the same
+// 2 MB stride. ci.sh tier-2 gates it at 0 allocs/op alongside the load
+// path, so neither ported walk regrows per-op garbage.
+func BenchmarkStoreLineHotPath(b *testing.B) {
+	m := noJitterF(knl.DefaultConfig())
+	const lines = 32768
+	buf := m.Alloc.MustAlloc(knl.DDR, 0, lines*knl.LineSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.Spawn(place(0), func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Store(buf, (i*7)%lines)
+		}
+	})
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkPrimeFlush measures the zero-time setup path benchmarks lean
 // on between iterations: priming a buffer into a core's caches and
 // retiring it again with the epoch flush.

@@ -8,25 +8,30 @@ import (
 	"knlcap/internal/sim"
 )
 
-// This file exposes the two bench-kernel bodies — the pointer chase and the
-// stream-op task — as spawnable kernels. With Machine.Steps set (the
-// default) they run as stackless step processes: the whole measurement loop
-// advances inline from the scheduler with zero goroutine handoffs. With
-// Steps clear they run as ordinary goroutine processes over the exact same
-// state machines, which is what the A/B equivalence tests compare against.
+// This file is the unified kernel spawn surface: Machine.SpawnKernel runs a
+// Program — a host callback emitting KernelOps one at a time — pinned to a
+// place. With Machine.Steps set (the default) the kernel runs as a stackless
+// step process: the whole measurement loop advances inline from the
+// scheduler with zero goroutine handoffs. With Steps clear it runs as an
+// ordinary goroutine process dispatching the same ops through the Thread
+// facade, which is what the A/B equivalence tests compare against.
 //
-// The kernels call back into host code (ChaseOps.NextPass, the stream
-// task's next function) at the same simulated instants the old
-// Thread-closure versions executed that code, so benchmark logic —
-// priming, RNG permutation draws, convergence gating, window accounting —
-// ports without re-ordering a single draw or event.
+// The program callback runs at the same simulated instants a Thread closure
+// would compute its next call — the completion instant of the previous op —
+// so benchmark logic (priming, RNG permutation draws, convergence gating,
+// window accounting) ports without re-ordering a single draw or event.
+// SpawnChase and SpawnStreamTask remain as thin wrappers building Programs.
 
-// StreamOpKind enumerates the stream task operations.
-type StreamOpKind uint8
+// KernelOpKind enumerates the kernel operations: the stream ops plus the
+// single-line protocol walks and the flag-word primitives.
+type KernelOpKind uint8
+
+// StreamOpKind is the historical name of KernelOpKind.
+type StreamOpKind = KernelOpKind
 
 const (
 	// StreamRead reads N lines of Src starting at SrcFrom.
-	StreamRead StreamOpKind = iota
+	StreamRead KernelOpKind = iota
 	// StreamWrite writes N lines of Dst starting at DstFrom.
 	StreamWrite
 	// StreamCopy copies N lines from Src@SrcFrom to Dst@DstFrom.
@@ -37,11 +42,29 @@ const (
 	// StreamSync waits until absolute time At (window synchronization);
 	// it is skipped when At is already past, like Thread.WaitUntil.
 	StreamSync
+	// KernelLoad reads line Li of B (full protocol walk) and yields the
+	// line's payload word as the op result, like Thread.LoadWord.
+	KernelLoad
+	// KernelStore writes line Li of B (read-for-ownership walk).
+	KernelStore
+	// KernelStoreNT writes line Li of B with a non-temporal store.
+	KernelStoreNT
+	// KernelStoreWord stores line Li of B and sets its payload to Val.
+	KernelStoreWord
+	// KernelAddWord stores line Li of B, adds Val to its payload, and
+	// yields the new value (models a LOCK ADD on an M line).
+	KernelAddWord
+	// KernelWaitWordGE polls line Li of B until its payload is >= Val,
+	// sleeping on the line's watch signal between polls, and yields the
+	// observed value.
+	KernelWaitWordGE
+	// KernelCompute advances the kernel by Dur ns of pure computation.
+	KernelCompute
 )
 
-// StreamOp is one operation of a stream task.
-type StreamOp struct {
-	Kind    StreamOpKind
+// KernelOp is one operation of a kernel program.
+type KernelOp struct {
+	Kind    KernelOpKind
 	Dst     memmode.Buffer
 	Src     memmode.Buffer
 	Src2    memmode.Buffer
@@ -51,20 +74,52 @@ type StreamOp struct {
 	NT      bool
 	Vector  bool
 	At      float64 // StreamSync target time
+
+	B   memmode.Buffer // line/word op target buffer
+	Li  int            // line/word op line index
+	Val uint64         // StoreWord value / AddWord delta / WaitWordGE threshold
+	Dur float64        // KernelCompute duration
 }
 
-// streamTaskStep drives a sequence of stream ops as a step process.
-type streamTaskStep struct {
-	m      *Machine
-	core   int
-	next   func(now float64) (StreamOp, bool)
-	st     streamStep
-	active bool
+// StreamOp is the historical name of KernelOp.
+type StreamOp = KernelOp
+
+// Program produces the kernel's next op. It is called at the simulated
+// instant the previous op completed; prev is that op's result (the loaded
+// or observed payload word — zero for ops without one). Returning ok=false
+// ends the kernel.
+type Program func(now float64, prev uint64) (KernelOp, bool)
+
+// kernelStep drives a Program as a step process.
+type kernelStep struct {
+	m    *Machine
+	core int
+	prog Program
+
+	op      KernelOp
+	opStart float64
+	prev    uint64
+	mode    uint8
+
+	st streamStep
+	ld loadStep
+	ss storeStep
+	ww waitWordStep
 }
 
-func (t *streamTaskStep) Step(c *sim.StepCtx) {
+const (
+	kmIdle = uint8(iota)
+	kmStream
+	kmLoad
+	kmStore
+	kmWait
+)
+
+func (t *kernelStep) Step(c *sim.StepCtx) {
+	m := t.m
 	for {
-		if t.active {
+		switch t.mode {
+		case kmStream:
 			t.st.run(c)
 			if c.Blocked() {
 				return
@@ -72,56 +127,157 @@ func (t *streamTaskStep) Step(c *sim.StepCtx) {
 			if t.st.pc != stDone {
 				continue
 			}
-			t.active = false
-		}
-		op, ok := t.next(c.Now())
-		if !ok {
-			c.End()
-			return
-		}
-		if op.Kind == StreamSync {
-			if op.At > c.Now() {
-				c.WaitUntil(op.At)
+			t.prev = 0
+			t.mode = kmIdle
+
+		case kmLoad:
+			t.ld.step(c)
+			if c.Blocked() {
 				return
 			}
-			continue
+			if t.ld.pc != ldDone {
+				continue
+			}
+			m.trace(OpRecord{Start: t.opStart, End: c.Now(), Core: t.core,
+				Kind: OpLoad, Source: t.ld.cls.String(), Line: t.ld.l})
+			t.prev = m.wordOf(t.ld.l)
+			t.mode = kmIdle
+
+		case kmStore:
+			t.ss.step(c)
+			if c.Blocked() {
+				return
+			}
+			if t.ss.pc != ssDone {
+				continue
+			}
+			kind := OpStore
+			if t.op.Kind == KernelStoreNT {
+				kind = OpStoreNT
+			}
+			m.trace(OpRecord{Start: t.opStart, End: c.Now(), Core: t.core,
+				Kind: kind, Line: t.ss.l})
+			t.prev = 0
+			switch t.op.Kind {
+			case KernelStoreWord:
+				m.setWord(t.ss.l, t.op.Val)
+			case KernelAddWord:
+				t.prev = m.addWord(t.ss.l, t.op.Val)
+			}
+			t.mode = kmIdle
+
+		case kmWait:
+			t.ww.step(c)
+			if c.Blocked() {
+				return
+			}
+			if t.ww.pc != wwDone {
+				continue
+			}
+			t.prev = t.ww.got
+			t.mode = kmIdle
+
+		default: // kmIdle: fetch and dispatch the next op
+			op, ok := t.prog(c.Now(), t.prev)
+			if !ok {
+				c.End()
+				return
+			}
+			t.op = op
+			t.opStart = c.Now()
+			switch op.Kind {
+			case StreamSync:
+				t.prev = 0
+				if op.At > c.Now() {
+					c.WaitUntil(op.At)
+					return
+				}
+			case KernelLoad:
+				t.ld.init(m, t.core, op.B, op.B.Line(op.Li))
+				t.mode = kmLoad
+			case KernelStore, KernelStoreWord, KernelAddWord:
+				t.ss.init(m, t.core, op.B, op.B.Line(op.Li))
+				t.mode = kmStore
+			case KernelStoreNT:
+				t.ss.initNT(m, t.core, op.B, op.B.Line(op.Li))
+				t.mode = kmStore
+			case KernelWaitWordGE:
+				t.ww.init(m, t.core, op.B, op.B.Line(op.Li), op.Val)
+				t.mode = kmWait
+			case KernelCompute:
+				t.prev = 0
+				c.Wait(op.Dur)
+				return
+			default: // stream ops
+				join := t.st.join // keep the flush join (and its Signal) across ops
+				t.st = streamStep{m: m, core: t.core, op: op, join: join}
+				t.mode = kmStream
+			}
 		}
-		join := t.st.join // keep the flush join (and its Signal) across ops
-		t.st = streamStep{m: t.m, core: t.core, op: op, join: join}
-		t.active = true
 	}
 }
 
-// SpawnStreamTask starts a kernel pinned to place that executes the stream
-// ops produced by next, one at a time, until next reports no more work.
-// next runs at the simulated instant the previous op completed — exactly
-// where a Thread closure would compute its next call — so it may observe
-// clocks and update benchmark accounting. The returned process identity
-// can be used to filter observation hooks.
-func (m *Machine) SpawnStreamTask(place knl.Place, next func(now float64) (StreamOp, bool)) *sim.Proc {
+// SpawnKernel starts a kernel pinned to place that executes the ops
+// produced by prog, one at a time, until prog reports no more work. The
+// returned process identity can be used to filter observation hooks.
+func (m *Machine) SpawnKernel(place knl.Place, prog Program) *sim.Proc {
 	if place.Core < 0 || place.Core >= m.NumCores() {
 		panic(fmt.Sprintf("machine: place core %d out of range", place.Core))
 	}
 	name := place.String()
 	if m.Steps {
 		//lint:ignore hotalloc one frame per spawned measurement kernel (the goroutine version paid a closure and a stack)
-		return m.Env.GoSteps(name, &streamTaskStep{m: m, core: place.Core, next: next})
+		return m.Env.GoSteps(name, &kernelStep{m: m, core: place.Core, prog: prog})
 	}
-	core := place.Core
+	//lint:ignore hotalloc one Thread facade per spawned goroutine kernel
+	th := &Thread{M: m, Place: place}
 	return m.Env.Go(name, func(p *sim.Proc) {
+		th.P = p
+		var prev uint64
 		for {
-			op, ok := next(m.Env.Now())
+			op, ok := prog(m.Env.Now(), prev)
 			if !ok {
 				return
 			}
-			if op.Kind == StreamSync {
-				if op.At > m.Env.Now() {
-					p.WaitUntil(op.At)
-				}
-				continue
-			}
-			m.runStreamOp(p, core, op)
+			prev = runKernelOpThread(th, op)
 		}
+	})
+}
+
+// runKernelOpThread dispatches one kernel op through the Thread facade —
+// the goroutine half of kernelStep.Step, over the same step machines.
+func runKernelOpThread(th *Thread, op KernelOp) uint64 {
+	switch op.Kind {
+	case StreamSync:
+		th.WaitUntil(op.At)
+	case KernelLoad:
+		return th.LoadWord(op.B, op.Li)
+	case KernelStore:
+		th.Store(op.B, op.Li)
+	case KernelStoreNT:
+		th.StoreNT(op.B, op.Li)
+	case KernelStoreWord:
+		th.StoreWord(op.B, op.Li, op.Val)
+	case KernelAddWord:
+		return th.AddWord(op.B, op.Li, op.Val)
+	case KernelWaitWordGE:
+		return th.WaitWordGE(op.B, op.Li, op.Val)
+	case KernelCompute:
+		th.Compute(op.Dur)
+	default:
+		th.M.runStreamOp(th.P, th.Place.Core, op)
+	}
+	return 0
+}
+
+// SpawnStreamTask starts a kernel pinned to place that executes the stream
+// ops produced by next, one at a time, until next reports no more work.
+// next runs at the simulated instant the previous op completed — exactly
+// where a Thread closure would compute its next call — so it may observe
+// clocks and update benchmark accounting.
+func (m *Machine) SpawnStreamTask(place knl.Place, next func(now float64) (StreamOp, bool)) *sim.Proc {
+	return m.SpawnKernel(place, func(now float64, _ uint64) (KernelOp, bool) {
+		return next(now)
 	})
 }
 
@@ -144,89 +300,33 @@ type ChaseOps struct {
 	PassDone   func(elapsed float64)
 }
 
-// chaseStep drives ChaseOps as a step process, emitting the same per-load
-// OpRecord trace as Thread.Load.
-type chaseStep struct {
-	m         *Machine
-	core      int
-	o         ChaseOps
-	ld        loadStep
-	i         int
-	passStart float64
-	opStart   float64
-	running   bool
-}
-
-func (k *chaseStep) Step(c *sim.StepCtx) {
-	for {
-		if k.running {
-			k.ld.step(c)
-			if c.Blocked() {
-				return
-			}
-			if k.ld.pc != ldDone {
-				continue
-			}
-			k.running = false
-			k.m.trace(OpRecord{Start: k.opStart, End: c.Now(), Core: k.core,
-				Kind: OpLoad, Source: k.ld.cls.String(), Line: k.ld.l})
-			if k.o.AccessDone != nil {
-				k.o.AccessDone()
-			}
-			k.i++
-			if k.i < k.o.Len {
-				k.startAccess(c)
-				continue
-			}
-			if k.o.PassDone != nil {
-				k.o.PassDone(c.Now() - k.passStart)
-			}
-		}
-		if !k.o.NextPass() {
-			c.End()
-			return
-		}
-		k.i = 0
-		k.passStart = c.Now()
-		k.startAccess(c)
-	}
-}
-
-func (k *chaseStep) startAccess(c *sim.StepCtx) {
-	k.opStart = c.Now()
-	k.ld.init(k.m, k.core, k.o.B, k.o.B.Line(k.o.Perm[k.i%len(k.o.Perm)]))
-	k.running = true
-}
-
 // SpawnChase starts a pointer-chase kernel pinned to place and returns its
 // process identity (so observation hooks can filter on it).
 func (m *Machine) SpawnChase(place knl.Place, o ChaseOps) *sim.Proc {
-	if place.Core < 0 || place.Core >= m.NumCores() {
-		panic(fmt.Sprintf("machine: place core %d out of range", place.Core))
-	}
-	name := place.String()
-	if m.Steps {
-		//lint:ignore hotalloc one frame per spawned measurement kernel (the goroutine version paid a closure and a stack)
-		return m.Env.GoSteps(name, &chaseStep{m: m, core: place.Core, o: o})
-	}
-	core := place.Core
-	return m.Env.Go(name, func(p *sim.Proc) {
-		nl := len(o.Perm)
-		for o.NextPass() {
-			passStart := m.Env.Now()
-			for i := 0; i < o.Len; i++ {
-				opStart := m.Env.Now()
-				l := o.B.Line(o.Perm[i%nl])
-				cls := m.loadLine(p, core, o.B, l)
-				m.trace(OpRecord{Start: opStart, End: m.Env.Now(), Core: core,
-					Kind: OpLoad, Source: cls.String(), Line: l})
-				if o.AccessDone != nil {
-					o.AccessDone()
-				}
+	nl := len(o.Perm)
+	i := 0
+	passStart := 0.0
+	inPass := false
+	return m.SpawnKernel(place, func(now float64, _ uint64) (KernelOp, bool) {
+		if inPass {
+			if o.AccessDone != nil {
+				o.AccessDone()
 			}
+			i++
+			if i < o.Len {
+				return KernelOp{Kind: KernelLoad, B: o.B, Li: o.Perm[i%nl]}, true
+			}
+			inPass = false
 			if o.PassDone != nil {
-				o.PassDone(m.Env.Now() - passStart)
+				o.PassDone(now - passStart)
 			}
 		}
+		if !o.NextPass() {
+			return KernelOp{}, false
+		}
+		i = 0
+		passStart = now
+		inPass = true
+		return KernelOp{Kind: KernelLoad, B: o.B, Li: o.Perm[0]}, true
 	})
 }

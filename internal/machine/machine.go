@@ -225,18 +225,10 @@ func (m *Machine) jitter(d float64) float64 {
 // stream bit-identical between the two execution modes.
 func (m *Machine) Jitter(d sim.Time) sim.Time { return m.jitter(d) }
 
-// meshHop routes a protocol request packet between two mesh positions:
-// ring occupancy through the link fabric plus the jittered traversal
-// latency. Data-return legs are folded into post-commit tails and charged
-// as latency only.
-func (m *Machine) meshHop(p *sim.Proc, a, b knl.Pos) {
-	x := sim.BlockingCtx(p)
-	m.meshHopOps(&x, a, b)
-}
-
-// meshHopOps is meshHop on a step context: the ring occupancies and the
-// traversal wait queue as micro-ops, with the latency jitter drawn when
-// the wait op is reached.
+// meshHopOps routes a protocol request packet between two mesh positions:
+// the ring occupancies and the traversal wait queue as micro-ops, with the
+// latency jitter drawn when the wait op is reached. Data-return legs are
+// folded into post-commit tails and charged as latency only.
 func (m *Machine) meshHopOps(c *sim.StepCtx, a, b knl.Pos) {
 	if a == b {
 		return
@@ -247,15 +239,7 @@ func (m *Machine) meshHopOps(c *sim.StepCtx, a, b knl.Pos) {
 	c.WaitJit(m, m.Router.Latency(a, b))
 }
 
-// meshTileToTile is meshHop between two logical tiles.
-func (m *Machine) meshTileToTile(p *sim.Proc, a, b int) {
-	if a == b {
-		return
-	}
-	m.meshHop(p, m.FP.TilePos(a), m.FP.TilePos(b))
-}
-
-// meshTileToTileOps is meshTileToTile on a step context.
+// meshTileToTileOps is meshHopOps between two logical tiles.
 func (m *Machine) meshTileToTileOps(c *sim.StepCtx, a, b int) {
 	if a == b {
 		return
@@ -316,20 +300,11 @@ func rankState(s cache.State) int {
 	}
 }
 
-// installL2 inserts a line into a tile's L2 and handles the victim:
-// directory cleanup, L1 back-invalidation, and (for Modified victims) a
-// synchronous write-back charge on the memory channels.
-func (m *Machine) installL2(p *sim.Proc, tile int, l cache.Line, st cache.State) {
-	if v, dirty := m.installL2Tags(tile, l, st); dirty {
-		m.writeBack(p, v)
-	}
-}
-
-// installL2Tags is the zero-time half of installL2: tag-array insert,
-// directory bookkeeping and L1 back-invalidation of the victim. It reports
-// a Modified victim instead of writing it back, so a step process can
-// commit the tags at one juncture and drive the write-back's channel
-// occupancies as queued micro-ops.
+// installL2Tags inserts a line into a tile's L2 at zero simulated cost:
+// tag-array insert, directory bookkeeping and L1 back-invalidation of the
+// victim. It reports a Modified victim instead of writing it back, so a
+// step process can commit the tags at one juncture and drive the
+// write-back's channel occupancies as queued micro-ops.
 func (m *Machine) installL2Tags(tile int, l cache.Line, st cache.State) (victim cache.Line, dirty bool) {
 	v := m.tiles[tile].l2.Insert(l, st)
 	m.dirAdd(l, tile)
@@ -352,17 +327,6 @@ func (m *Machine) writeBack(p *sim.Proc, l cache.Line) {
 	c := sim.BlockingCtx(p)
 	for wb.pc != wbDone {
 		wb.step(m, &c)
-	}
-}
-
-// fillSideCache installs a line in the MCDRAM side cache, flushing a dirty
-// victim to DDR.
-func (m *Machine) fillSideCache(p *sim.Proc, edc int, l cache.Line) {
-	victim, dirty, ok := m.Policy.Fill(edc, l)
-	if ok && dirty {
-		if place, found := m.placeOfLine(victim); found {
-			m.Mem.Channel(knl.DDR, place.Channel).ServeWrite(p, 1)
-		}
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"math/bits"
 
 	"knlcap/internal/cache"
-	"knlcap/internal/cluster"
 	"knlcap/internal/knl"
 	"knlcap/internal/memmode"
 	"knlcap/internal/sim"
@@ -53,40 +52,6 @@ func (m *Machine) loadLine(p *sim.Proc, core int, b memmode.Buffer, l cache.Line
 	return k.cls
 }
 
-// forwardGrant performs the committed half of a cache-to-cache transfer
-// from tile fwd (holding state st): the request travels to the forwarder,
-// occupies its L2 port, and the MESIF downgrades take effect. The caller
-// (still holding the home CHA) installs the requester's state, releases
-// the directory, and then pays the returned tail latency — the data's
-// flight back (forwarding extra + mesh + fill). Serializing the home CHA
-// over {CHASvc + mesh + port} is what the paper measures as the contention
-// slope beta ~ 34 ns.
-func (m *Machine) forwardGrant(p *sim.Proc, reqTile, home, fwd int, st cache.State, l cache.Line) (tail float64) {
-	m.meshTileToTile(p, home, fwd)
-	svc := m.P.OwnerPortSvcNs
-	extra := m.P.OwnerExtraSFNs
-	switch st {
-	case cache.Modified:
-		svc = m.P.OwnerPortSvcMNs
-		extra = m.P.OwnerExtraMNs
-	case cache.Exclusive:
-		extra = m.P.OwnerExtraENs
-	}
-	m.tiles[fwd].port.Use(p, m.jitter(svc))
-	// Downgrade the source; Modified data is written back on the way.
-	m.tiles[fwd].l2.SetState(l, cache.Shared)
-	for c := 0; c < knl.CoresPerTile; c++ {
-		l1 := m.cores[fwd*knl.CoresPerTile+c].l1
-		if l1.Peek(l) != cache.Invalid {
-			l1.SetState(l, cache.Shared)
-		}
-	}
-	if st == cache.Modified {
-		m.asyncWriteBack(l)
-	}
-	return m.jitter(extra) + m.jitter(m.Router.TileToTile(fwd, reqTile)+m.P.DeliverNs)
-}
-
 // asyncWriteBack charges the memory ports for a posted write-back without
 // delaying the requesting thread (the data return and the write-back travel
 // independently).
@@ -100,45 +65,6 @@ func (m *Machine) asyncWriteBack(l cache.Line) {
 	}
 	//lint:ignore hotalloc spawning the posted-write-back process is the allocation; only dirty-forward misses take this path (BenchmarkLoadLineHotPath stays at 0 allocs/op)
 	m.Env.Go("wb", func(p *sim.Proc) { m.writeBack(p, l) })
-}
-
-// memReadPorts pays the committed half of a memory read — the request's
-// travel to the controller and the channel port occupancies — and returns
-// the tail latency (device access plus the data's flight back), which the
-// caller pays after releasing the home directory. In cache/hybrid memory
-// mode DDR lines go through the MCDRAM side cache.
-func (m *Machine) memReadPorts(p *sim.Proc, home, reqTile int, place cluster.LinePlace, l cache.Line) (tail float64) {
-	if m.Policy.Enabled() && place.Kind == knl.DDR {
-		edc := m.Mapper.CacheEDC(place.Channel, l)
-		m.meshHop(p, m.FP.TilePos(home), m.FP.EDCPos[edc])
-		p.Wait(m.jitter(m.P.MCDRAMCacheTagNs))
-		if m.Policy.Probe(edc, l) {
-			ch := m.Mem.Channel(knl.MCDRAM, edc)
-			ch.ServeRead(p, 1)
-			return m.jitter(ch.DeviceLatencyNs() + m.Router.TileToEDC(reqTile, edc))
-		}
-		// Miss: fetch from DDR; data goes to the requester and the MCDRAM
-		// cache simultaneously.
-		m.meshHop(p, m.FP.EDCPos[edc], m.FP.IMCPos[place.Channel/3])
-		ddr := m.Mem.Channel(knl.DDR, place.Channel)
-		ddr.ServeRead(p, 1)
-		m.Mem.Channel(knl.MCDRAM, edc).ServeWrite(p, 1)
-		m.fillSideCache(p, edc, l)
-		return m.jitter(ddr.DeviceLatencyNs() + m.Router.TileToIMC(reqTile, place.Channel))
-	}
-	var ctrlPos knl.Pos
-	var fromCtrl float64
-	if place.Kind == knl.DDR {
-		ctrlPos = m.FP.IMCPos[place.Channel/3]
-		fromCtrl = m.Router.TileToIMC(reqTile, place.Channel)
-	} else {
-		ctrlPos = m.FP.EDCPos[place.Channel]
-		fromCtrl = m.Router.TileToEDC(reqTile, place.Channel)
-	}
-	ch := m.Mem.Channel(place.Kind, place.Channel)
-	m.meshHop(p, m.FP.TilePos(home), ctrlPos)
-	ch.ServeRead(p, 1)
-	return m.jitter(ch.DeviceLatencyNs() + fromCtrl)
 }
 
 // downgradeSiblingL1 moves any sibling-core L1 copy to Shared.
@@ -156,97 +82,31 @@ func (m *Machine) downgradeSiblingL1(tile, exceptCore int, l cache.Line) {
 }
 
 // storeLine performs a single-line store with full RFO protocol timing.
+// The walk itself lives in storeStep (step_store.go); the home CHA is held
+// until the Modified state is installed, so conflicting requests block at
+// the directory exactly as the loads do.
+//
+//knl:hotpath one simulated store; BenchmarkStoreLineHotPath pins 0 allocs/op
 func (m *Machine) storeLine(p *sim.Proc, core int, b memmode.Buffer, l cache.Line) {
-	tile := core / knl.CoresPerTile
-	cs := m.cores[core]
-	defer m.notify(l)
-
-	// 1. Writable in own L1: silent upgrade E->M or plain M hit.
-	if cs.l1.Lookup(l).Writable() {
-		cs.l1.SetState(l, cache.Modified)
-		m.tiles[tile].l2.SetState(l, cache.Modified)
-		p.Wait(m.jitter(m.P.StoreHitNs))
-		return
+	var k storeStep
+	k.init(m, core, b, l)
+	c := sim.BlockingCtx(p)
+	for k.pc != ssDone {
+		k.step(&c)
 	}
-
-	// 2. Writable in own tile's L2 (sibling snoop stays on-tile); commit
-	// before the wait, as above.
-	if st := m.tiles[tile].l2.Lookup(l); st.Writable() {
-		m.tiles[tile].l2.SetState(l, cache.Modified)
-		m.invalidateTileL1s(tile, l)
-		cs.l1.Insert(l, cache.Modified)
-		p.Wait(m.jitter(m.P.L2HitENs))
-		return
-	}
-
-	// 3. Request-for-ownership through the home directory, which is held
-	// until the Modified state is installed (conflicting requests to the
-	// line block at the CHA, like the loads).
-	p.Wait(m.jitter(m.P.L2MissDetectNs))
-	place := m.placeOf(b, l)
-	home := place.HomeTile
-	m.meshTileToTile(p, tile, home)
-	cha := m.tiles[home].cha
-	cha.Acquire(p)
-	otherOwners := bits.OnesCount64(m.owners(l) &^ (1 << uint(tile)))
-	p.Wait(m.jitter(m.P.CHASvcNs + m.P.InvPerOwnerNs*float64(otherOwners)))
-
-	hadCopy := m.tiles[tile].l2.Peek(l).Readable()
-	var tail float64
-	if fwd, st, ok := m.forwarder(l); ok && fwd != tile {
-		// Fetch the data with the invalidation (RFO forward).
-		tail = m.forwardGrant(p, tile, home, fwd, st, l)
-	} else if !hadCopy {
-		p.Wait(m.jitter(m.P.DirMissNs))
-		tail = m.memReadPorts(p, home, tile, place, l) + m.jitter(m.P.DeliverNs)
-	}
-	if otherOwners > 0 {
-		p.Wait(m.jitter(m.P.InvRoundTripNs))
-	}
-	m.invalidateOthers(tile, l)
-	m.installL2(p, tile, l, cache.Modified)
-	m.invalidateTileL1s(tile, l)
-	cs.l1.Insert(l, cache.Modified)
-	cha.Release()
-	p.Wait(tail)
 }
 
 // storeLineNT performs a non-temporal (streaming) store: cached copies are
 // invalidated and the line goes straight to memory without read-for-
 // ownership. The core-visible cost is small (the store is posted); the
-// memory ports are charged for the write.
+// memory ports are charged for the write. The walk lives in storeStep.
 func (m *Machine) storeLineNT(p *sim.Proc, core int, b memmode.Buffer, l cache.Line) {
-	tile := core / knl.CoresPerTile
-	defer m.notify(l)
-	place := m.placeOf(b, l)
-	if m.owners(l) != 0 {
-		home := place.HomeTile
-		m.meshTileToTile(p, tile, home)
-		cha := m.tiles[home].cha
-		cha.Acquire(p)
-		owners := m.owners(l) // re-read under the directory lock
-		p.Wait(m.jitter(m.P.CHASvcNs + m.P.InvPerOwnerNs*float64(bits.OnesCount64(owners))))
-		p.Wait(m.jitter(m.P.InvRoundTripNs))
-		m.invalidateOthers(-1, l) // -1: invalidate everywhere, incl. own tile
-		cha.Release()
+	var k storeStep
+	k.initNT(m, core, b, l)
+	c := sim.BlockingCtx(p)
+	for k.pc != ssDone {
+		k.step(&c)
 	}
-	m.memWrite(p, place, l)
-	p.Wait(m.jitter(m.P.StorePostNs))
-}
-
-// memWrite charges the channel ports for a line write (no latency: stores
-// are posted). Cache/hybrid mode writes land in the MCDRAM side cache.
-func (m *Machine) memWrite(p *sim.Proc, place cluster.LinePlace, l cache.Line) {
-	if m.Policy.Enabled() && place.Kind == knl.DDR {
-		edc := m.Mapper.CacheEDC(place.Channel, l)
-		m.Mem.Channel(knl.MCDRAM, edc).ServeWrite(p, 1)
-		if !m.Policy.Probe(edc, l) {
-			m.fillSideCache(p, edc, l)
-		}
-		m.Policy.MarkDirty(edc, l)
-		return
-	}
-	m.Mem.Channel(place.Kind, place.Channel).ServeWrite(p, 1)
 }
 
 // invalidateOthers drops the line from every tile except `exceptTile`

@@ -111,6 +111,64 @@ func kernelWorkload(t *testing.T, cfg knl.Config, steps bool) (digest uint64, ev
 		})
 	}
 
+	// Store-walk kernel: the RFO and streaming-store walks plus a read-back,
+	// exercising storeStep's hit, invalidate-others and memory paths.
+	storeBuf := m.Alloc.MustAlloc(knl.DDR, 0, 8*knl.LineSize)
+	si := 0
+	m.SpawnKernel(place(20), func(now float64, prev uint64) (KernelOp, bool) {
+		if si > 0 {
+			obs = append(obs, float64(prev)) // KernelLoad yields the payload
+		}
+		if si >= 6 {
+			return KernelOp{}, false
+		}
+		li := si % storeBuf.NumLines()
+		si++
+		switch si % 3 {
+		case 1:
+			return KernelOp{Kind: KernelStoreWord, B: storeBuf, Li: li, Val: uint64(si)}, true
+		case 2:
+			return KernelOp{Kind: KernelStoreNT, B: storeBuf, Li: li}, true
+		default:
+			return KernelOp{Kind: KernelLoad, B: storeBuf, Li: li}, true
+		}
+	})
+
+	// Flag ping-pong pair: KernelStoreWord/KernelAddWord against
+	// KernelWaitWordGE, exercising the signal-watch juncture in both modes.
+	flag := m.Alloc.MustAlloc(knl.DDR, 0, knl.LineSize)
+	const rounds = 4
+	pa := 0
+	m.SpawnKernel(place(30), func(now float64, prev uint64) (KernelOp, bool) {
+		if pa == 2*rounds {
+			obs = append(obs, now)
+			return KernelOp{}, false
+		}
+		r := pa / 2
+		op := KernelOp{Kind: KernelStoreWord, B: flag, Val: uint64(2*r + 1)}
+		if pa%2 == 1 {
+			op = KernelOp{Kind: KernelWaitWordGE, B: flag, Val: uint64(2*r + 2)}
+		}
+		pa++
+		return op, true
+	})
+	pb := 0
+	m.SpawnKernel(place(40), func(now float64, prev uint64) (KernelOp, bool) {
+		if pb > 0 {
+			obs = append(obs, float64(prev)) // observed flag / added value
+		}
+		if pb == 2*rounds {
+			return KernelOp{}, false
+		}
+		r := pb / 2
+		op := KernelOp{Kind: KernelWaitWordGE, B: flag, Val: uint64(2*r + 1)}
+		if pb%2 == 1 {
+			op = KernelOp{Kind: KernelAddWord, B: flag, Val: 1}
+		}
+		pb++
+		return op, true
+	})
+
 	if _, err := m.Run(); err != nil {
 		t.Fatalf("kernel workload (%s, steps=%v): %v", cfg.Name(), steps, err)
 	}

@@ -10,6 +10,17 @@ import (
 
 // Thread is one simulated hardware thread pinned to a place. All methods
 // must be called from within the thread's own process (see Machine.Spawn).
+//
+// Thread is the blocking facade over the step machines: every timed
+// primitive — Load/LoadWord (loadStep), Store/StoreNT/StoreWord/AddWord
+// (storeStep), WaitWordGE (the signal-watch poll loop), the stream methods
+// (streamStep) — drives the same resumable state machine a spawned kernel
+// advances from the scheduler, just synchronously on a BlockingCtx. There
+// is no second protocol implementation behind this type; it exists so that
+// irregular goroutine code (tests, calibration, one-off setup walks) can
+// call the walks imperatively. Measurement loops should prefer
+// Machine.SpawnKernel, which runs the identical machines without a
+// goroutine handoff per blocking point.
 type Thread struct {
 	M     *Machine
 	Place knl.Place

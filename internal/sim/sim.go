@@ -221,6 +221,25 @@ func (e *Env) schedule(p *Proc, at Time) {
 	e.events.push(event{at: at, seq: e.seq, proc: p})
 }
 
+// waitFast consumes a wait of the running process without touching the event
+// heap: when the event that schedule would push is strictly the next one to
+// pop (every queued event is later; an equal-time event has an earlier seq
+// and must run first), pushing and immediately popping it is pure overhead —
+// the clock advances and the same process keeps running. The seq increment
+// still happens, so Seq-based digests are bit-identical with the slow path.
+// Reports false when a queued event is due first; the caller then schedules
+// and yields as usual.
+//
+//knl:hotpath the fused wait of the protocol walks; BenchmarkLoadLineHotPath pins 0 allocs/op
+func (e *Env) waitFast(at Time) bool {
+	if len(e.events.h) != 0 && e.events.h[0].at <= at {
+		return false
+	}
+	e.seq++
+	e.now = at
+	return true
+}
+
 // cede pops events, advances the clock, and transfers control: step-process
 // events are advanced inline (no channel operation, no goroutine switch)
 // and the loop continues; a goroutine event is resumed over its channel;
@@ -271,6 +290,9 @@ func (p *Proc) Wait(d Time) {
 	if p.env.OnWait != nil {
 		p.env.OnWait(p, d)
 	}
+	if p.env.waitFast(p.env.now + d) {
+		return
+	}
 	p.env.schedule(p, p.env.now+d)
 	p.yield()
 }
@@ -279,6 +301,9 @@ func (p *Proc) Wait(d Time) {
 func (p *Proc) WaitUntil(t Time) {
 	if t < p.env.now {
 		panic(fmt.Sprintf("sim: WaitUntil(%v) in the past (now %v)", t, p.env.now))
+	}
+	if p.env.waitFast(t) {
+		return
 	}
 	p.env.schedule(p, t)
 	p.yield()

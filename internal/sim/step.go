@@ -330,10 +330,13 @@ func (sp *StepProc) execHead() bool {
 	switch op.kind {
 	case sopWait:
 		if op.phase == 0 {
-			op.phase = 1
 			if e.OnWait != nil {
 				e.OnWait(p, op.d)
 			}
+			if e.waitFast(e.now + op.d) {
+				break // fused: the wait elapsed inline
+			}
+			op.phase = 1
 			e.schedule(p, e.now+op.d)
 			return false
 		}
@@ -342,6 +345,9 @@ func (sp *StepProc) execHead() bool {
 		if op.phase == 0 {
 			if op.d < e.now {
 				panic(fmt.Sprintf("sim: WaitUntil(%v) in the past (now %v)", op.d, e.now))
+			}
+			if e.waitFast(op.d) {
+				break
 			}
 			op.phase = 1
 			e.schedule(p, op.d)
@@ -363,17 +369,28 @@ func (sp *StepProc) execHead() bool {
 				op.phase = 1
 				return false
 			}
-			op.phase = 2
 			if e.OnWait != nil {
 				e.OnWait(p, op.d)
 			}
+			if e.waitFast(e.now + op.d) {
+				// Fused fast path: an idle resource acquired, held and
+				// released within one op execution — no heap traffic, no
+				// scheduler bounce.
+				op.r.Release()
+				break
+			}
+			op.phase = 2
 			e.schedule(p, e.now+op.d)
 			return false
 		case 1: // woken by Release with the slot transferred
-			op.phase = 2
 			if e.OnWait != nil {
 				e.OnWait(p, op.d)
 			}
+			if e.waitFast(e.now + op.d) {
+				op.r.Release()
+				break
+			}
+			op.phase = 2
 			e.schedule(p, e.now+op.d)
 			return false
 		case 2: // hold elapsed

@@ -11,10 +11,11 @@
 #                as the comparison point;
 #   current    — this checkout, measured now: engine event throughput
 #                (ns/event, events/s, allocs/op), the per-line-access cost
-#                of the machine hot path (ns_per_line_access), the
-#                Figure 9 triad sweep wall-clock at -parallel 1 vs
-#                GOMAXPROCS, and the Table I latency sweep wall-clock
-#                cold vs converged (ConvergeAfter) vs cache-warm (memo);
+#                of the machine load and store hot paths, the Figure 9
+#                triad sweep wall-clock at -parallel 1 vs GOMAXPROCS, the
+#                Table I latency sweep wall-clock cold vs converged
+#                (ConvergeAfter) vs cache-warm (memo), and the contention+
+#                congestion sweep on the step engine vs NoSteps;
 #   trajectory — append-only history, one record per run: git SHA, UTC
 #                date, ns/event, ns_per_line_access and allocs/op.
 #                Earlier records are preserved across runs, so the file
@@ -36,9 +37,10 @@ cores="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
 export GOMAXPROCS="$cores"
 
 engine=$(go test -bench=EngineEventThroughput -benchmem -benchtime="$benchtime" -run '^$' ./internal/sim/)
-hotpath=$(go test -bench=LoadLineHotPath -benchmem -benchtime="$benchtime" -run '^$' ./internal/machine/)
+hotpath=$(go test -bench='LoadLineHotPath|StoreLineHotPath' -benchmem -benchtime="$benchtime" -run '^$' ./internal/machine/)
 sweep=$(go test -bench=SweepParallel -benchtime=1x -run '^$' ./internal/exp/)
 latency=$(go test -bench=LatencySweep -benchtime=3x -run '^$' ./internal/exp/)
+contention=$(go test -bench=ContentionSweep -benchtime=3x -run '^$' ./internal/exp/)
 
 # go test -bench output:
 # BenchmarkEngineEventThroughput  N  <ns/op> ns/op  <ev/s> events/s  <ns/ev> ns/event  <B> B/op  <allocs> allocs/op
@@ -66,6 +68,16 @@ $(echo "$hotpath" | awk '/^BenchmarkLoadLineHotPath/ {
 }')
 EOF
 
+read -r store_ns store_allocs <<EOF
+$(echo "$hotpath" | awk '/^BenchmarkStoreLineHotPath/ {
+    for (i = 1; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "allocs/op") a  = $(i-1)
+    }
+    print ns, a
+}')
+EOF
+
 serial_ns=$(echo "$sweep" | awk '/SweepParallel\/serial/     { for (i=1;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')
 par_ns=$(echo "$sweep"    | awk '/SweepParallel\/gomaxprocs/ { for (i=1;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')
 speedup=$(awk -v s="$serial_ns" -v p="$par_ns" 'BEGIN { printf "%.2f", s / p }')
@@ -79,6 +91,14 @@ converged_ns=$(echo "$latency" | awk '/LatencySweep\/converged/ { for (i=1;i<=NF
 warm_ns=$(echo "$latency"      | awk '/LatencySweep\/warm/      { for (i=1;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')
 converge_speedup=$(awk -v c="$cold_ns" -v g="$converged_ns" 'BEGIN { printf "%.2f", c / g }')
 warm_speedup=$(awk -v c="$cold_ns" -v w="$warm_ns" 'BEGIN { printf "%.2f", c / w }')
+
+# Contention + congestion sweep (store walk + signal-watch juncture) on the
+# step engine vs the same sweeps forced onto goroutine processes; the
+# nosteps side is what the pre-port simulator ran, so steps_speedup is the
+# wall-clock win of porting the store path.
+steps_ns=$(echo "$contention"   | awk '/ContentionSweep\/steps/   { for (i=1;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')
+nosteps_ns=$(echo "$contention" | awk '/ContentionSweep\/nosteps/ { for (i=1;i<=NF;i++) if ($i=="ns/op") print $(i-1) }')
+steps_speedup=$(awk -v s="$steps_ns" -v g="$nosteps_ns" 'BEGIN { printf "%.2f", g / s }')
 
 # Carry the trajectory forward before overwriting the file.
 traj='[]'
@@ -118,7 +138,9 @@ cat > "$tmp" <<EOF
     },
     "line_access": {
       "ns_per_line_access": $line_ns,
-      "allocs_per_op": $line_allocs
+      "allocs_per_op": $line_allocs,
+      "store_ns_per_line_access": $store_ns,
+      "store_allocs_per_op": $store_allocs
     },
     "fig9_triad_sweep": {
       "serial_ns_per_op": $serial_ns,
@@ -131,6 +153,11 @@ cat > "$tmp" <<EOF
       "cache_warm_ns_per_op": $warm_ns,
       "converge_speedup": $converge_speedup,
       "cache_warm_speedup": $warm_speedup
+    },
+    "contention_congestion_sweep": {
+      "steps_ns_per_op": $steps_ns,
+      "nosteps_ns_per_op": $nosteps_ns,
+      "steps_speedup": $steps_speedup
     }
   }
 }
@@ -139,10 +166,14 @@ EOF
 jq --argjson traj "$traj" \
    --arg sha "$sha" --arg date "$today" \
    --argjson ns_event "$ns_event" --argjson line_ns "$line_ns" \
+   --argjson store_ns "$store_ns" \
+   --argjson contention_ns "$steps_ns" \
    --argjson allocs "$allocs_op" \
    '.trajectory = $traj + [{sha: $sha, date: $date,
                             ns_per_event: $ns_event,
                             ns_per_line_access: $line_ns,
+                            store_ns_per_line_access: $store_ns,
+                            contention_sweep_ns: $contention_ns,
                             allocs_per_op: $allocs}]' \
    "$tmp" > "$out"
 
